@@ -1,0 +1,50 @@
+"""Shared reporting helpers for the benchmark suite.
+
+Every bench regenerates one of the paper's tables or figures and writes a
+plain-text report (plus a JSON copy of the raw numbers) under ``results/`` so
+EXPERIMENTS.md can cite them.  Expensive experiment outputs are cached in
+``results/cache`` keyed by a config tag; delete the directory to force a
+recompute.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["results_dir", "write_report", "load_cached", "store_cached"]
+
+
+def results_dir() -> Path:
+    """The repository-level results directory (created on demand)."""
+    root = Path(__file__).resolve().parents[1]
+    path = root / "results"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def write_report(name: str, lines: list[str], data: dict | None = None) -> Path:
+    """Write (and echo) a report; optionally store the raw numbers as JSON."""
+    path = results_dir() / f"{name}.txt"
+    text = "\n".join(lines) + "\n"
+    path.write_text(text)
+    print(f"\n=== {name} ===")
+    print(text)
+    if data is not None:
+        (results_dir() / f"{name}.json").write_text(json.dumps(data, indent=2))
+    return path
+
+
+def load_cached(tag: str) -> dict | None:
+    """Load a cached experiment result, or None when absent."""
+    path = results_dir() / "cache" / f"{tag}.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def store_cached(tag: str, data: dict) -> None:
+    """Persist an experiment result for future bench runs."""
+    path = results_dir() / "cache" / f"{tag}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(data, indent=2))

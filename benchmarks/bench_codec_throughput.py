@@ -1,0 +1,80 @@
+"""Software codec micro-benchmarks (pytest-benchmark timing rounds).
+
+These time the Python reference implementations themselves — the bit-exact
+block codec, the vectorized fast path, and the 2x activation codec — so
+regressions in the library's own performance are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ActivationCodec,
+    EccoTensorCodec,
+    fit_tensor_meta,
+    simulate_roundtrip,
+)
+
+
+@pytest.fixture(scope="module")
+def weight_setup():
+    rng = np.random.default_rng(11)
+    tensor = (rng.standard_t(df=5, size=(64, 512)) * 0.02).astype(np.float32)
+    meta = fit_tensor_meta(tensor, max_calibration_groups=256)
+    return meta, tensor
+
+
+def test_calibration_speed(benchmark):
+    """fit_tensor_meta on a 64x512 tensor."""
+    rng = np.random.default_rng(12)
+    tensor = (rng.standard_t(df=5, size=(64, 512)) * 0.02).astype(np.float32)
+    meta = benchmark.pedantic(
+        lambda: fit_tensor_meta(tensor, max_calibration_groups=256),
+        rounds=2,
+        iterations=1,
+    )
+    assert meta.patterns.shape == (64, 15)
+
+
+def test_bit_exact_encode(benchmark, weight_setup):
+    meta, tensor = weight_setup
+    codec = EccoTensorCodec(meta)
+    compressed = benchmark(lambda: codec.encode(tensor))
+    assert compressed.num_groups == tensor.size // 128
+
+
+def test_bit_exact_decode(benchmark, weight_setup):
+    meta, tensor = weight_setup
+    codec = EccoTensorCodec(meta)
+    compressed = codec.encode(tensor)
+    decoded = benchmark(lambda: codec.decode(compressed))
+    assert decoded.shape == tensor.shape
+
+
+def test_fast_path_roundtrip(benchmark, weight_setup):
+    meta, tensor = weight_setup
+    sim = benchmark(lambda: simulate_roundtrip(meta, tensor))
+    assert sim.values.shape == tensor.shape
+
+
+def test_activation_codec_roundtrip(benchmark):
+    rng = np.random.default_rng(13)
+    act = rng.standard_normal((256, 512)).astype(np.float32)
+    codec = ActivationCodec()
+    decoded = benchmark(lambda: codec.roundtrip(act))
+    assert decoded.shape == act.shape
+
+
+def test_fast_path_much_faster_than_bit_path(weight_setup):
+    """The vectorized path must stay an order of magnitude faster."""
+    import time
+
+    meta, tensor = weight_setup
+    codec = EccoTensorCodec(meta)
+    start = time.perf_counter()
+    codec.roundtrip(tensor)
+    bit_path = time.perf_counter() - start
+    start = time.perf_counter()
+    simulate_roundtrip(meta, tensor)
+    fast_path = time.perf_counter() - start
+    assert fast_path * 3 < bit_path

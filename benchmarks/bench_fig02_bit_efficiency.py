@@ -1,0 +1,98 @@
+"""Figure 2: unique value counts and bit efficiency across quantization levels.
+
+Paper values (LLM weights, 4-bit): entropy 0.09 / 1.58 / 2.73 / 3.15 bits and
+bit efficiency 2.25% / 39.4% / 64.2% / 78.5% for tensor-wise, channel-wise,
+group-wise, and Ecco's entropy-based compression.  The shape to hold: both
+metrics rise monotonically with granularity and Ecco lands on top.
+"""
+
+import numpy as np
+import pytest
+
+from _report import write_report
+from repro.core import WEIGHT_CONFIG, fit_tensor_meta, simulate_roundtrip, to_groups
+from repro.entropy import (
+    QuantizationProfile,
+    group_entropy,
+    profile_uniform_quantization,
+    unique_counts,
+)
+
+
+def _ecco_profile(tensor: np.ndarray) -> QuantizationProfile:
+    """Entropy/overhead of Ecco's quantized indices on the same tensor."""
+    meta = fit_tensor_meta(tensor, config=WEIGHT_CONFIG, seed=0)
+    sim = simulate_roundtrip(meta, tensor)
+    groups, __ = to_groups(tensor, WEIGHT_CONFIG.group_size)
+
+    # Recover the per-group symbol matrix for the entropy measurement.
+    from repro.core import normalize_groups, select_patterns_mse
+
+    norm = normalize_groups(groups, meta.tensor_exp, WEIGHT_CONFIG)
+    __, indices = select_patterns_mse(
+        norm.normalized, norm.absmax_pos, meta.patterns,
+        scale_index=WEIGHT_CONFIG.scale_index,
+    )
+    overhead = WEIGHT_CONFIG.block_bits / WEIGHT_CONFIG.group_size
+    # Tensor-wise metadata amortizes over the tensor it serves; the bench
+    # tensor is a sample, so amortize over a production-size projection
+    # (4096 x 4096), matching how the paper reports 4.01 bits.
+    overhead += meta.metadata_bits() / (4096 * 4096)
+    return QuantizationProfile(
+        name="ecco",
+        average_entropy=float(group_entropy(indices).mean()),
+        real_bit_overhead=float(overhead),
+        unique_value_counts=unique_counts(indices),
+    )
+
+
+@pytest.fixture(scope="module")
+def profiles(heavy_tailed_weight):
+    tensor = heavy_tailed_weight
+    return [
+        profile_uniform_quantization(tensor, "tensor"),
+        profile_uniform_quantization(tensor, "channel"),
+        profile_uniform_quantization(tensor, "group"),
+        _ecco_profile(tensor),
+    ]
+
+
+def test_fig02_bit_efficiency(benchmark, profiles):
+    """Regenerate Figure 2 and check the monotone granularity story."""
+    result = benchmark.pedantic(lambda: profiles, rounds=1, iterations=1)
+
+    lines = [
+        f"{'method':<14} {'avg entropy':>12} {'bit overhead':>13} {'efficiency':>11} {'uniq(mean)':>11}",
+    ]
+    data = {}
+    for profile in result:
+        lines.append(
+            f"{profile.name:<14} {profile.average_entropy:>12.2f} "
+            f"{profile.real_bit_overhead:>13.2f} {profile.efficiency * 100:>10.1f}% "
+            f"{profile.unique_value_counts.mean():>11.1f}"
+        )
+        data[profile.name] = {
+            "entropy": profile.average_entropy,
+            "overhead": profile.real_bit_overhead,
+            "efficiency": profile.efficiency,
+        }
+    lines.append("paper: 0.09/2.25%  1.58/39.4%  2.73/64.2%  3.15/78.5%")
+    write_report("fig02_bit_efficiency", lines, data)
+
+    tensor, channel, group, ecco = result
+    # Entropy rises with granularity (paper: 0.09 -> 1.58 -> 2.73).
+    assert tensor.average_entropy < channel.average_entropy < group.average_entropy
+    # Ecco has the best bit efficiency of all four.
+    assert ecco.efficiency > group.efficiency > channel.efficiency > tensor.efficiency
+    # Ecco's real bit overhead stays ~4 bits/value (in-block metadata only).
+    assert ecco.real_bit_overhead == pytest.approx(4.0, abs=0.15)
+
+
+def test_fig02_unique_counts_scatter(benchmark, profiles):
+    """The per-group unique-code counts that make up the scatter plots."""
+    tensor, channel, group, __ = benchmark.pedantic(
+        lambda: profiles, rounds=1, iterations=1
+    )
+    assert tensor.unique_value_counts.mean() < channel.unique_value_counts.mean()
+    assert channel.unique_value_counts.mean() <= group.unique_value_counts.mean() + 1e-9
+    assert group.unique_value_counts.max() <= 16

@@ -1,0 +1,37 @@
+"""Figure 3a: QuaRot's runtime de/compression overhead vs FP16.
+
+Paper observation: on a 4-bit LLaMA2-7B (seq 1024, 512 decode steps) decoding
+is ~0.6x the FP16 speed — runtime rotation/quantization overhead outweighs the
+bandwidth savings and can shift the bottleneck to compute.
+"""
+
+import pytest
+
+from _report import write_report
+from repro.llm.config import get_spec
+from repro.perf import decode_step_latency
+
+
+def test_fig03_quarot_slower_than_fp16(benchmark):
+    """QuaRot decode latency lands at ~1.4-1.8x FP16 at decode batch sizes."""
+    spec = get_spec("llama2-7b")
+
+    def sweep():
+        rows = {}
+        for batch in [1, 4, 16, 64]:
+            fp16 = decode_step_latency(spec, "trt-fp16", batch, 1024)
+            quarot = decode_step_latency(spec, "quarot", batch, 1024)
+            rows[batch] = quarot.total_s / fp16.total_s
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [f"{'batch':>6} {'quarot/fp16 latency':>20}"]
+    for batch, ratio in rows.items():
+        lines.append(f"{batch:>6} {ratio:>20.2f}")
+    lines.append("paper: decode ~0.6x FP16 speed (ratio ~1.6-1.7)")
+    write_report("fig03_quarot_overhead", lines, {str(k): v for k, v in rows.items()})
+
+    # QuaRot is slower than FP16 at every decode batch size <= 64 (Fig 3).
+    assert all(ratio > 1.0 for ratio in rows.values())
+    assert rows[1] == pytest.approx(1.65, rel=0.25)

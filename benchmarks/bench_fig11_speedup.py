@@ -1,0 +1,114 @@
+"""Figure 11: normalized decode latency across batch, sequence length, models.
+
+Paper shapes: (a) on LLaMA-13B/seq-2048 Ecco is 2.6-3.2x faster than
+TensorRT-FP16 (avg ~2.9x) across batch 1..64, with AWQ's gap growing with
+batch; (b) across sequence lengths at batch 8 the FP16 speedup peaks around
+~3.1x and the gains over AWQ/Olive/SQ grow with context; (c) across models at
+batch 32/seq 4096 Ecco wins >2x on most models with smaller gains on the GQA
+models (Mistral-7B, LLaMA2-70B); average speedups land near 2.5/2.2/1.5/2.1x
+over TRT/Olive/SQ/AWQ.
+"""
+
+import numpy as np
+import pytest
+
+from _report import write_report
+from repro.llm.config import get_spec
+from repro.perf import speedup_table
+
+BASELINES = ["trt-fp16", "olive", "smoothquant", "awq"]
+FIG11C_MODELS = [
+    "llama-7b",
+    "mistral-7b",
+    "llama-13b",
+    "llama-30b",
+    "llama-65b",
+    "llama2-70b",
+]
+
+
+def _format(rows: dict, key_label: str) -> list[str]:
+    lines = [f"{key_label:<12}" + "".join(f"{s:>13}" for s in BASELINES)]
+    for key, table in rows.items():
+        lines.append(
+            f"{str(key):<12}" + "".join(f"{table[s]:>13.2f}" for s in BASELINES)
+        )
+    return lines
+
+
+def test_fig11a_batch_sweep(benchmark):
+    """Normalized latency vs batch size (LLaMA-13B, seq 2048)."""
+    spec = get_spec("llama-13b")
+
+    def sweep():
+        return {
+            bs: speedup_table(spec, BASELINES, bs, 2048)
+            for bs in [1, 2, 4, 8, 16, 32, 64]
+        }
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    geomeans = {
+        s: float(np.exp(np.mean(np.log([rows[b][s] for b in rows])))) for s in BASELINES
+    }
+    lines = _format(rows, "batch")
+    lines.append("geomean     " + "".join(f"{geomeans[s]:>13.2f}" for s in BASELINES))
+    lines.append("paper: vs TRT 2.6-3.2x (avg 2.9); up to 2.9/2.4/1.8x vs AWQ/Olive/SQ")
+    write_report("fig11a_batch_sweep", lines, {str(k): v for k, v in rows.items()})
+
+    # Ecco wins everywhere; TRT speedup in the paper's band.
+    assert 2.4 < geomeans["trt-fp16"] < 3.4
+    for batch, table in rows.items():
+        assert all(v > 1.0 for v in table.values()), batch
+    # AWQ's disadvantage grows with batch size (FP16 KV + dequant overhead).
+    assert rows[64]["awq"] > rows[1]["awq"]
+
+
+def test_fig11b_sequence_sweep(benchmark):
+    """Normalized latency vs sequence length (LLaMA-13B, batch 8)."""
+    spec = get_spec("llama-13b")
+
+    def sweep():
+        return {
+            seq: speedup_table(spec, BASELINES, 8, seq)
+            for seq in [128, 256, 512, 1024, 2048, 4096]
+        }
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = _format(rows, "seq")
+    lines.append("paper: gains over AWQ/Olive/SQ grow with sequence length")
+    write_report("fig11b_seq_sweep", lines, {str(k): v for k, v in rows.items()})
+
+    # Gains over the FP16-KV frameworks grow with context length.
+    assert rows[4096]["awq"] > rows[128]["awq"]
+    assert rows[4096]["olive"] > rows[128]["olive"]
+    # SQ (8-bit KV) grows much less.
+    sq_growth = rows[4096]["smoothquant"] / rows[128]["smoothquant"]
+    awq_growth = rows[4096]["awq"] / rows[128]["awq"]
+    assert sq_growth < awq_growth
+
+
+def test_fig11c_model_sweep(benchmark):
+    """Normalized latency across models (batch 32, seq 4096)."""
+
+    def sweep():
+        return {
+            m: speedup_table(get_spec(m), BASELINES, 32, 4096) for m in FIG11C_MODELS
+        }
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    avgs = {s: float(np.mean([rows[m][s] for m in rows])) for s in BASELINES}
+    lines = _format(rows, "model")
+    lines.append("average     " + "".join(f"{avgs[s]:>13.2f}" for s in BASELINES))
+    lines.append("paper averages: TRT 2.5 / Olive 2.2 / SQ 1.5 / AWQ 2.1")
+    write_report("fig11c_model_sweep", lines, rows)
+
+    # >2x on every model (paper: "more than 2x speedup on most models").
+    for model in FIG11C_MODELS:
+        assert rows[model]["trt-fp16"] > 2.0, model
+    # GQA reduces the gain at matched architecture (Mistral vs LLaMA-7B).
+    # (LLaMA2-70B mixes GQA with a much larger FFN, which pulls its ratio
+    # back up in this model; the clean comparison is the 7B pair.)
+    assert rows["mistral-7b"]["trt-fp16"] < rows["llama-7b"]["trt-fp16"]
+    # Who-wins ordering of the averages matches the paper:
+    # TRT slowest, then Olive, then AWQ, then SQ closest to Ecco.
+    assert avgs["trt-fp16"] > avgs["olive"] > avgs["awq"] > avgs["smoothquant"] > 1.0

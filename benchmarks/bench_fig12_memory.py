@@ -1,0 +1,60 @@
+"""Figure 12: GPU memory consumption on LLaMA-7B (batch 32, seq 2K).
+
+Paper values: 3.98x less memory than FP16, 1.99x less than SmoothQuant,
+1.06x less than QuaRot; the FP16 KV cache alone is 34.4 GB of the 47.3 GB
+total.  The bench regenerates the per-framework weights/KV breakdown.
+"""
+
+import pytest
+
+from _report import write_report
+from repro.llm.config import get_spec
+from repro.perf import memory_footprint
+
+FRAMEWORKS = ["trt-fp16", "olive", "smoothquant", "awq", "quarot", "ecco"]
+
+
+def test_fig12_memory(benchmark):
+    """Regenerate the memory-footprint bars and the headline ratios."""
+    spec = get_spec("llama-7b")
+
+    def compute():
+        return {name: memory_footprint(spec, name, 32, 2048) for name in FRAMEWORKS}
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    lines = [f"{'framework':<12} {'total GB':>9} {'weights':>9} {'kv cache':>9}"]
+    data = {}
+    for name in FRAMEWORKS:
+        fp = table[name]
+        lines.append(
+            f"{name:<12} {fp.total_gb:>9.2f} {fp.weights_bytes / 1e9:>9.2f} "
+            f"{fp.kv_bytes / 1e9:>9.2f}"
+        )
+        data[name] = {"total_gb": fp.total_gb}
+    ecco = table["ecco"].total_bytes
+    lines.append(
+        f"ratios vs ecco: fp16 {table['trt-fp16'].total_bytes / ecco:.2f}x "
+        f"(paper 3.98), sq {table['smoothquant'].total_bytes / ecco:.2f}x (paper 1.99), "
+        f"quarot {table['quarot'].total_bytes / ecco:.2f}x (paper 1.06)"
+    )
+    write_report("fig12_memory", lines, data)
+
+    assert table["trt-fp16"].total_bytes / ecco == pytest.approx(3.98, rel=0.03)
+    assert table["smoothquant"].total_bytes / ecco == pytest.approx(1.99, rel=0.05)
+    assert table["quarot"].total_bytes / ecco == pytest.approx(1.06, rel=0.06)
+    # The paper's FP16 anchor: ~34.4 GB of KV cache.
+    assert table["trt-fp16"].kv_bytes / 1e9 == pytest.approx(34.4, rel=0.02)
+
+
+def test_fig12_multi_gpu_scaling(benchmark):
+    """Independent per-tensor metadata -> footprint scales linearly (§5.3)."""
+    spec = get_spec("llama-7b")
+
+    def compute():
+        one = memory_footprint(spec, "ecco", 32, 2048).total_bytes
+        four = 4 * memory_footprint(spec, "ecco", 32, 2048).total_bytes
+        return one, four
+
+    one, four = benchmark.pedantic(compute, rounds=1, iterations=1)
+    assert four == pytest.approx(4 * one)

@@ -1,0 +1,68 @@
+"""Figure 14: sensitivity to decompressor throughput and latency.
+
+Paper shapes: (a) slowdown ~1.0 while the decompressor sustains >= ~50-60% of
+the L2's bandwidth, then rises sharply (~6-7x at 10%); (b) latency is mostly
+hidden by memory-level parallelism — a gradual rise to ~1.3x at 300 cycles.
+"""
+
+import pytest
+
+from _report import write_report
+from repro.memsys import WorkloadConfig, normalized_slowdown
+
+WORKLOAD = WorkloadConfig(num_requests=40000)
+
+
+def test_fig14a_throughput_sweep(benchmark):
+    """Slowdown vs decompressor/L2 throughput fraction."""
+
+    def sweep():
+        fractions = [1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1]
+        return {f: normalized_slowdown(f, 28, WORKLOAD) for f in fractions}
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [f"{'throughput':>10} {'slowdown':>9}"]
+    for fraction, slowdown in rows.items():
+        lines.append(f"{fraction * 100:>9.0f}% {slowdown:>9.2f}")
+    lines.append("paper: ~1.0 down to ~50%, sharp rise below (6-7x at 10%)")
+    write_report("fig14a_throughput", lines, {str(k): v for k, v in rows.items()})
+
+    assert rows[1.0] == pytest.approx(1.0, abs=0.05)
+    assert rows[0.6] < 1.15
+    assert rows[0.3] > 1.4
+    assert 3.5 < rows[0.1] < 9.0
+    values = list(rows.values())
+    assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+
+def test_fig14b_latency_sweep(benchmark):
+    """Slowdown vs decompressor latency at full throughput."""
+
+    def sweep():
+        return {
+            lat: normalized_slowdown(1.0, lat, WORKLOAD)
+            for lat in [0, 30, 60, 90, 120, 150, 180, 210, 240, 270, 300]
+        }
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [f"{'latency':>8} {'slowdown':>9}"]
+    for latency, slowdown in rows.items():
+        lines.append(f"{latency:>8} {slowdown:>9.3f}")
+    lines.append("paper: gradual 1.0 -> ~1.3 over 0..300 cycles")
+    write_report("fig14b_latency", lines, {str(k): v for k, v in rows.items()})
+
+    assert rows[0] == pytest.approx(1.0, abs=0.01)
+    assert rows[60] < 1.1
+    assert 1.1 < rows[300] < 1.5
+    values = list(rows.values())
+    assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+
+def test_fig14_design_point_safe(benchmark):
+    """The actual design (100% matched throughput, 28 cycles) costs ~nothing."""
+    slowdown = benchmark.pedantic(
+        lambda: normalized_slowdown(1.0, 28, WORKLOAD), rounds=1, iterations=1
+    )
+    assert slowdown < 1.03

@@ -1,0 +1,117 @@
+"""Section 5.2: codec pipeline latencies and L2-matched throughput.
+
+Paper values: 28-cycle decompressor, 62-cycle compressor, 20 replicated
+instances matching the L2's 5120 bytes/cycle.  This bench also times the
+bit-exact functional models (blocks/second of the Python reference).
+"""
+
+import numpy as np
+import pytest
+
+from _report import write_report
+from repro.core import EccoTensorCodec, calibrate_kv_meta
+from repro.hardware import (
+    HardwareCompressor,
+    ParallelHuffmanDecoder,
+    SequentialDecoderModel,
+    compressor_2x_pipeline,
+    compressor_4x_pipeline,
+    decompressor_2x_pipeline,
+    decompressor_4x_pipeline,
+    latency_reduction_vs_parallel,
+)
+from repro.memsys import A100
+
+
+@pytest.fixture(scope="module")
+def kv_meta():
+    rng = np.random.default_rng(77)
+    return calibrate_kv_meta(rng.standard_normal((64, 256)), seed=1)
+
+
+def test_pipeline_budgets(benchmark):
+    """Latency and throughput of the four pipelined units."""
+    pipes = benchmark.pedantic(
+        lambda: [
+            decompressor_4x_pipeline(),
+            decompressor_2x_pipeline(),
+            compressor_4x_pipeline(),
+            compressor_2x_pipeline(),
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    lines = [f"{'unit':<18} {'latency':>8} {'B/cycle':>9} {'matches L2':>11}"]
+    for pipe in pipes:
+        lines.append(
+            f"{pipe.name:<18} {pipe.latency_cycles:>8} "
+            f"{pipe.throughput_bytes_per_cycle:>9.0f} "
+            f"{str(pipe.matches_cache_bandwidth(A100.l2_bytes_per_cycle)):>11}"
+        )
+    lines.append("paper: decompressor 28 cycles, compressor 62; 20 copies = 5120 B/c")
+    write_report("hw_pipeline", lines)
+
+    dec4, dec2, comp4, comp2 = pipes
+    assert dec4.latency_cycles == 28
+    assert comp4.latency_cycles == 62
+    for pipe in pipes:
+        assert pipe.matches_cache_bandwidth(A100.l2_bytes_per_cycle)
+
+
+def test_sequential_decoder_comparison(benchmark):
+    """The paper's claim: two orders of magnitude lower latency than a
+    traditional sequential Huffman decoder at sustained load."""
+
+    def sweep():
+        sequential = SequentialDecoderModel()
+        return {
+            "sequential_block_cycles": sequential.block_latency_cycles,
+            "sequential_instances_for_l2": sequential.instances_for_bandwidth(5120),
+            "reduction_burst20": latency_reduction_vs_parallel(queue_depth=20),
+            "reduction_burst100": latency_reduction_vs_parallel(queue_depth=100),
+        }
+
+    data = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_report(
+        "hw_sequential_comparison",
+        [
+            f"sequential decoder: {data['sequential_block_cycles']} cycles/block, "
+            f"{data['sequential_instances_for_l2']} instances to match L2",
+            f"latency reduction (20-block burst):  {data['reduction_burst20']:.0f}x",
+            f"latency reduction (100-block burst): {data['reduction_burst100']:.0f}x",
+            "paper: parallel design reduces latency by two orders of magnitude",
+        ],
+        data,
+    )
+    assert data["reduction_burst20"] > 30
+    assert data["reduction_burst100"] >= 100
+    assert data["sequential_instances_for_l2"] > 1000
+
+
+def test_functional_decoder_throughput(benchmark, kv_meta):
+    """Time the bit-exact parallel-decoder model on a stream of blocks."""
+    rng = np.random.default_rng(5)
+    tensor = rng.standard_normal((8, 128))
+    codec = EccoTensorCodec(kv_meta)
+    compressed = codec.encode(tensor)
+    decoder = ParallelHuffmanDecoder(kv_meta)
+    blocks = [row.tobytes() for row in compressed.blocks]
+
+    def decode_all():
+        return [decoder.decode(block) for block in blocks]
+
+    outputs = benchmark(decode_all)
+    assert len(outputs) == len(blocks)
+
+
+def test_functional_compressor_throughput(benchmark, kv_meta):
+    """Time the bit-exact hardware-compressor model."""
+    rng = np.random.default_rng(6)
+    groups = rng.standard_normal((8, 128))
+    compressor = HardwareCompressor(kv_meta)
+
+    def encode_all():
+        return [compressor.encode_group(group) for group in groups]
+
+    outputs = benchmark(encode_all)
+    assert len(outputs) == len(groups)

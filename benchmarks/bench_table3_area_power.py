@@ -1,0 +1,60 @@
+"""Table 3: area and power of the Ecco codec units on the A100.
+
+Paper values (7nm-scaled, 20 instances each): decompressor 4x 3.19 mm^2 /
+4.82 W, decompressor 2x 0.57 / 0.83, compressor 4x 0.91 / 1.15, compressor 2x
+0.44 / 0.56; total <1% of the 826 mm^2 die and <10% of 82 W idle power.
+"""
+
+import pytest
+
+from _report import write_report
+from repro.hardware import EccoCostModel
+
+PAPER = {
+    "Decompressor 4x": (3.19, 4.82),
+    "Decompressor 2x": (0.57, 0.83),
+    "Compressor 4x": (0.91, 1.15),
+    "Compressor 2x": (0.44, 0.56),
+}
+
+
+def test_table3_area_power(benchmark):
+    """Regenerate Table 3 from the gate-inventory model."""
+    model = EccoCostModel()
+    components = benchmark.pedantic(model.components, rounds=1, iterations=1)
+
+    lines = [
+        f"{'component':<18} {'area mm2':>9} {'paper':>7} {'ratio':>8} {'power W':>8} {'paper':>7}"
+    ]
+    data = {}
+    for component in components:
+        paper_area, paper_power = PAPER[component.name]
+        lines.append(
+            f"{component.name:<18} {component.area_mm2:>9.2f} {paper_area:>7.2f} "
+            f"{component.area_ratio() * 100:>7.2f}% {component.power_w:>8.2f} {paper_power:>7.2f}"
+        )
+        data[component.name] = {
+            "area_mm2": component.area_mm2,
+            "power_w": component.power_w,
+        }
+    lines.append(
+        f"total: {model.total_area_mm2:.2f} mm2 "
+        f"({model.area_fraction_of_a100() * 100:.2f}% of die), "
+        f"{model.total_power_w:.2f} W ({model.power_fraction_of_idle() * 100:.1f}% of idle)"
+    )
+    write_report("table3_area_power", lines, data)
+
+    for component in components:
+        paper_area, paper_power = PAPER[component.name]
+        assert component.area_mm2 == pytest.approx(paper_area, rel=0.45), component.name
+        assert component.power_w == pytest.approx(paper_power, rel=0.45), component.name
+    assert model.area_fraction_of_a100() < 0.01
+    assert model.power_fraction_of_idle() < 0.10
+
+
+def test_table3_decompressor_dominates(benchmark):
+    """The 4x decompressor (speculative decode + merge) is the largest unit."""
+    model = EccoCostModel()
+    components = benchmark.pedantic(model.components, rounds=1, iterations=1)
+    by_name = {c.name: c.area_mm2 for c in components}
+    assert by_name["Decompressor 4x"] == max(by_name.values())

@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.llm import CalibrationData, TrainedModel, calibrate, get_trained_model
+
+
+@pytest.fixture(scope="session")
+def proxy_small() -> TrainedModel:
+    """The small trained proxy (cached on disk after the first run)."""
+    return get_trained_model("proxy-small")
+
+
+@pytest.fixture(scope="session")
+def proxy_medium() -> TrainedModel:
+    """The medium trained proxy."""
+    return get_trained_model("proxy-medium")
+
+
+@pytest.fixture(scope="session")
+def calib_small(proxy_small) -> CalibrationData:
+    """Calibration capture for the small proxy."""
+    tokens = proxy_small.generator.batches(16 * 65 + 65, 16, 64, seed=777)[0]
+    return calibrate(proxy_small.model, tokens)
+
+
+@pytest.fixture(scope="session")
+def calib_medium(proxy_medium) -> CalibrationData:
+    """Calibration capture for the medium proxy."""
+    tokens = proxy_medium.generator.batches(16 * 65 + 65, 16, 64, seed=777)[0]
+    return calibrate(proxy_medium.model, tokens)
+
+
+@pytest.fixture(scope="session")
+def heavy_tailed_weight() -> np.ndarray:
+    """A synthetic LLM-like weight tensor (leptokurtic, per-channel scales)."""
+    rng = np.random.default_rng(1234)
+    scales = np.exp(rng.normal(0.0, 0.8, size=(256, 1)))
+    return (rng.standard_t(df=5, size=(256, 1024)) * scales * 0.02).astype(np.float32)

@@ -1,0 +1,61 @@
+"""Accuracy sweep: quantize a trained proxy LM with every scheme.
+
+Trains (or loads from the zoo cache) the small proxy language model, applies
+each quantization scheme from the paper's Table 1, and reports held-out
+perplexity plus zero-shot accuracy on the synthetic task suite.
+
+Run with:  python examples/accuracy_sweep.py
+(first run trains the proxy: ~30 s)
+"""
+
+import numpy as np
+
+from repro.llm import (
+    TASK_NAMES,
+    apply_named_scheme,
+    calibrate,
+    get_trained_model,
+    multiple_choice_accuracy,
+    perplexity,
+)
+
+SCHEMES = [
+    "fp16",
+    "gptq-r-w4",
+    "olive-w4",
+    "awq-w4",
+    "ecco-w4",
+    "rtn-w4a8kv4",
+    "awq-w4a8kv4",
+    "quarot-w4a8kv4",
+    "qoq-w4a8kv4",
+    "ecco-w4a8kv4",
+]
+
+
+def main() -> None:
+    trained = get_trained_model("proxy-small")
+    print(f"proxy-small trained to loss {trained.final_loss:.3f} "
+          f"({trained.spec.num_layers} layers, d={trained.spec.d_model})")
+
+    held_out = trained.generator.token_stream(4096, seed=31337)
+    calib_tokens = trained.generator.batches(16 * 65 + 65, 16, 64, seed=777)[0]
+    calib = calibrate(trained.model, calib_tokens)
+    items = trained.generator.task_items("agreement", 40, seed=5555)
+
+    print(f"\n{'scheme':<16} {'perplexity':>11} {'delta':>8} {'task acc':>9}")
+    base = None
+    for scheme in SCHEMES:
+        qm = apply_named_scheme(trained.model, scheme, calib)
+        ppl = perplexity(trained.model, held_out, seq_len=64, batch=16, **qm.hooks())
+        acc = multiple_choice_accuracy(trained.model, items, **qm.hooks())
+        if base is None:
+            base = ppl
+        print(f"{scheme:<16} {ppl:>11.4f} {ppl - base:>+8.4f} {acc * 100:>8.1f}%")
+
+    print(f"\ntasks available: {TASK_NAMES}")
+    print("see benchmarks/bench_table1_perplexity.py for the full Table 1 run")
+
+
+if __name__ == "__main__":
+    main()

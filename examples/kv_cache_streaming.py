@@ -1,0 +1,64 @@
+"""Online KV-cache compression during autoregressive decoding.
+
+Simulates the decode loop the paper targets: every generated token's key and
+value vectors are compressed on the fly (min/max pattern selection, the
+hardware-friendly path), and the attention "reads back" the decompressed
+cache.  Reports the capacity win and the reconstruction error the attention
+kernel would see.
+
+Run with:  python examples/kv_cache_streaming.py
+"""
+
+import numpy as np
+
+from repro.core import KVCacheCodec, KVCacheStream, calibrate_kv_meta
+
+
+def synthetic_kv(rng: np.random.Generator, steps: int, dim: int) -> np.ndarray:
+    """Token key/value vectors with realistic per-channel scale disparity."""
+    channel_scales = np.exp(rng.normal(0.0, 1.2, size=dim))
+    return rng.standard_normal((steps, dim)) * channel_scales * 0.3
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    head_dim = 128
+    decode_steps = 96
+
+    # Offline: fit the 16-pattern hardware library on calibration KV data.
+    calibration = synthetic_kv(rng, 512, head_dim)
+    meta = calibrate_kv_meta(calibration)
+    codec = KVCacheCodec(meta)
+    print(f"calibrated {meta.num_patterns} shared k-means patterns "
+          f"({meta.config.pattern_select} selection)")
+
+    # Online: compress each new token's K and V as they are produced.
+    stream = KVCacheStream(key_codec=codec, value_codec=codec)
+    keys = synthetic_kv(rng, decode_steps, head_dim)
+    values = synthetic_kv(rng, decode_steps, head_dim)
+    for step in range(decode_steps):
+        stream.append(keys[step], values[step])
+
+    print(f"decode steps:       {len(stream)}")
+    print(f"cache size:         {stream.original_nbytes / 1024:.1f} KiB FP16 "
+          f"-> {stream.compressed_nbytes / 1024:.1f} KiB compressed "
+          f"({stream.original_nbytes / stream.compressed_nbytes:.2f}x)")
+
+    # What attention reads back.
+    restored_k = stream.read_keys().reshape(decode_steps, head_dim)
+    restored_v = stream.read_values().reshape(decode_steps, head_dim)
+    k_err = np.sqrt(np.mean((restored_k - keys) ** 2)) / np.std(keys)
+    v_err = np.sqrt(np.mean((restored_v - values) ** 2)) / np.std(values)
+    print(f"K relative RMS:     {k_err:.4f}")
+    print(f"V relative RMS:     {v_err:.4f}")
+
+    # Attention-score fidelity: dot products against a random query.
+    query = rng.standard_normal(head_dim)
+    exact_scores = keys @ query
+    approx_scores = restored_k @ query
+    corr = np.corrcoef(exact_scores, approx_scores)[0, 1]
+    print(f"attention-score correlation: {corr:.5f}")
+
+
+if __name__ == "__main__":
+    main()
