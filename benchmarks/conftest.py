@@ -2,14 +2,11 @@
 
 from __future__ import annotations
 
-import sys
-from pathlib import Path
-
 import numpy as np
 import pytest
 
-sys.path.insert(0, str(Path(__file__).resolve().parent))
-
+# Imports resolve through the pytest ``pythonpath`` config in pyproject.toml
+# (src/ for the library, benchmarks/ for _report) — no sys.path mutation here.
 from repro.llm import CalibrationData, TrainedModel, calibrate, get_trained_model
 
 

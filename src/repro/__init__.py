@@ -1,0 +1,13 @@
+"""Reproduction of *Ecco: Improving Memory Bandwidth and Capacity for LLMs
+via Entropy-Aware Cache Compression* (ISCA 2025).
+
+The package is layered; higher layers only depend on lower ones:
+
+* ``repro.core``     — the entropy-aware codec (patterns, codebooks, blocks)
+* ``repro.entropy``, ``repro.quant``, ``repro.baselines`` — analysis helpers
+* ``repro.llm``      — trained numpy proxy LLMs, calibration and evaluation
+* ``repro.memsys``, ``repro.hardware``, ``repro.perf`` — memory-system,
+  microarchitecture and end-to-end performance models
+"""
+
+__version__ = "0.1.0"

@@ -1,0 +1,156 @@
+"""Bit-exact packing of one group into one fixed 64-byte block.
+
+Block layout (512 bits, MSB-first within each byte):
+
+====================  ====
+field                 bits
+====================  ====
+group scale (fp16)      16
+scale position           8
+pattern id               8
+codebook id              4
+outlier count            6
+Huffman payload          —   (one code per non-scale value, in order)
+outlier slots         16×n   (8-bit position + 8-bit signed correction)
+zero padding             —   (to 512)
+====================  ====
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BitWriter", "BitReader", "pack_block", "unpack_block"]
+
+
+class BitWriter:
+    """MSB-first bit stream writer with a fixed byte budget."""
+
+    def __init__(self, num_bytes: int):
+        self.buffer = bytearray(num_bytes)
+        self.pos = 0
+        self.limit = num_bytes * 8
+
+    def write(self, value: int, bits: int) -> None:
+        if self.pos + bits > self.limit:
+            raise OverflowError("block budget exceeded")
+        value &= (1 << bits) - 1
+        for shift in range(bits - 1, -1, -1):
+            if (value >> shift) & 1:
+                self.buffer[self.pos >> 3] |= 0x80 >> (self.pos & 7)
+            self.pos += 1
+
+    def bytes(self) -> bytes:
+        return bytes(self.buffer)
+
+
+class BitReader:
+    """MSB-first bit stream reader."""
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def read(self, bits: int) -> int:
+        value = 0
+        for _ in range(bits):
+            byte = self.data[self.pos >> 3]
+            value = (value << 1) | ((byte >> (7 - (self.pos & 7))) & 1)
+            self.pos += 1
+        return value
+
+    def read_signed(self, bits: int) -> int:
+        raw = self.read(bits)
+        if raw >= 1 << (bits - 1):
+            raw -= 1 << bits
+        return raw
+
+
+def pack_block(
+    config,
+    scale: np.float32,
+    scale_pos: int,
+    pattern_id: int,
+    codebook_id: int,
+    symbols: np.ndarray,
+    code_lengths: np.ndarray,
+    code_values: np.ndarray,
+    outlier_pos: np.ndarray,
+    outlier_q: np.ndarray,
+) -> bytes:
+    """Serialize one group into its 64-byte block."""
+    writer = BitWriter(config.block_bytes)
+    writer.write(int(np.float16(scale).view(np.uint16)), 16)
+    writer.write(int(scale_pos), config.scale_pos_bits)
+    writer.write(int(pattern_id), config.pattern_id_bits)
+    writer.write(int(codebook_id), config.codebook_id_bits)
+    writer.write(len(outlier_pos), config.outlier_count_bits)
+    for pos in range(config.group_size):
+        if pos == scale_pos:
+            continue
+        sym = int(symbols[pos])
+        writer.write(int(code_values[sym]), int(code_lengths[sym]))
+    for pos, q in zip(outlier_pos, outlier_q):
+        writer.write(int(pos), config.scale_pos_bits)
+        writer.write(int(q), 8)
+    return writer.bytes()
+
+
+def decode_tables(code_lengths: np.ndarray) -> list:
+    """(length, code) -> symbol lookup per codebook, built once per meta."""
+    from .huffman import canonical_codes
+
+    tables = []
+    for lengths in code_lengths:
+        codes = canonical_codes(lengths)
+        tables.append(
+            {
+                (int(lengths[s]), int(codes[s])): s
+                for s in range(lengths.size)
+                if lengths[s] > 0
+            }
+        )
+    return tables
+
+
+def unpack_block(config, data: bytes, code_lengths: np.ndarray, tables=None):
+    """Deserialize one block back into its integer fields.
+
+    ``code_lengths`` has shape (H, num_symbols); Huffman decoding walks the
+    canonical code of the block's codebook bit by bit (the software twin of
+    the hardware's speculative window decode).  Pass ``tables`` (from
+    :func:`decode_tables`) to reuse the codebook lookups across blocks.
+    """
+    reader = BitReader(data)
+    scale = np.uint16(reader.read(16)).view(np.float16).astype(np.float32)
+    scale_pos = reader.read(config.scale_pos_bits)
+    pattern_id = reader.read(config.pattern_id_bits)
+    codebook_id = reader.read(config.codebook_id_bits)
+    num_outliers = reader.read(config.outlier_count_bits)
+
+    if tables is None:
+        tables = decode_tables(code_lengths)
+    table = tables[codebook_id]
+    symbols = np.zeros(config.group_size, dtype=np.int64)
+    for pos in range(config.group_size):
+        if pos == scale_pos:
+            symbols[pos] = config.pattern_values  # the scale slot
+            continue
+        code = 0
+        length = 0
+        while True:
+            code = (code << 1) | reader.read(1)
+            length += 1
+            sym = table.get((length, code))
+            if sym is not None:
+                symbols[pos] = sym
+                break
+            if length > config.max_code_len:
+                raise ValueError("corrupt block: no canonical code matched")
+
+    outlier_pos = np.zeros(num_outliers, dtype=np.int64)
+    outlier_q = np.zeros(num_outliers, dtype=np.int64)
+    for i in range(num_outliers):
+        outlier_pos[i] = reader.read(config.scale_pos_bits)
+        outlier_q[i] = reader.read_signed(8)
+    return scale, scale_pos, pattern_id, codebook_id, symbols, outlier_pos, outlier_q

@@ -1,0 +1,416 @@
+"""The Ecco tensor codec: bit-exact block path and vectorized fast path.
+
+Both paths run the same array-level planning pass (:func:`plan_encoding`):
+normalize groups, select patterns, choose codebooks, clip over-budget
+groups, and fill leftover bits with outlier corrections.  The bit path then
+serializes each group into a 64-byte block; the fast path reconstructs
+directly from the planned arrays.  Because reconstruction is one shared
+vectorized routine, ``decode(encode(x))`` and ``simulate_roundtrip`` agree
+bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .blocks import decode_tables, pack_block, unpack_block
+from .config import WEIGHT_CONFIG, EccoConfig
+from .grouping import normalize_groups, to_groups
+from .patterns import (
+    SCALE_SYMBOL,
+    TensorMeta,
+    fit_tensor_meta,
+    select_patterns_minmax,
+    select_patterns_mse,
+)
+
+__all__ = [
+    "EccoTensorCodec",
+    "CompressedTensor",
+    "SimulationResult",
+    "simulate_roundtrip",
+    "compress_weight",
+    "ActivationCodec",
+    "plan_encoding",
+]
+
+
+@dataclass
+class EncodingPlan:
+    """Everything needed to emit (or reconstruct) every block of a tensor."""
+
+    shape: tuple
+    pad: int
+    scales: np.ndarray  # (G,) signed fp16-rounded group scales
+    scale_pos: np.ndarray  # (G,)
+    pattern_ids: np.ndarray  # (G,)
+    codebook_ids: np.ndarray  # (G,)
+    symbols: np.ndarray  # (G, group_size), SCALE_SYMBOL at the scale slot
+    corrections: np.ndarray  # (G, group_size) int outlier corrections (0 = none)
+    clipped_symbols: np.ndarray  # (G,) count per group
+    padded_outliers: np.ndarray  # (G,) count per group
+
+    @property
+    def num_groups(self) -> int:
+        return int(self.symbols.shape[0])
+
+
+@dataclass
+class CompressedTensor:
+    """A tensor as a stack of fixed 64-byte blocks plus bookkeeping."""
+
+    blocks: np.ndarray  # (G, block_bytes) uint8
+    shape: tuple
+    pad: int
+    clipping_ratio: float
+    padding_ratio: float
+
+    @property
+    def num_groups(self) -> int:
+        return int(self.blocks.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.blocks.nbytes)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Versus the FP16 original (the paper's 4x target)."""
+        original = (int(np.prod(self.shape))) * 2
+        return original / self.nbytes
+
+
+@dataclass
+class SimulationResult:
+    """Fast-path roundtrip output."""
+
+    values: np.ndarray
+    clipping_ratio: float
+    padding_ratio: float
+    pattern_ids: np.ndarray
+
+
+def plan_encoding(
+    meta: TensorMeta,
+    tensor: np.ndarray,
+    act_weights: np.ndarray | None = None,
+) -> EncodingPlan:
+    """The shared planning pass: groups -> symbols, clips and outliers."""
+    config = meta.config
+    tensor = np.asarray(tensor, dtype=np.float32)
+    groups, pad = to_groups(tensor, config.group_size)
+    aw = None
+    if act_weights is not None:
+        aw, _ = to_groups(act_weights, config.group_size)
+
+    norm = normalize_groups(groups, meta.tensor_exp, config)
+    if config.pattern_select == "minmax":
+        pattern_ids, symbols, _ = select_patterns_minmax(
+            norm.normalized, norm.absmax_pos, meta.patterns
+        )
+    else:
+        pattern_ids, symbols = select_patterns_mse(
+            norm.normalized, norm.absmax_pos, meta.patterns,
+            scale_index=config.scale_index, act_weights=aw,
+            max_candidates=config.mse_candidates,
+        )
+
+    G, group_size = symbols.shape
+    coded_mask = symbols != SCALE_SYMBOL
+    safe_syms = np.where(coded_mask, symbols, 0)
+
+    # Choose the codebook that encodes each group's nearest-symbol stream
+    # shortest.
+    lengths = meta.codebook_lengths.astype(np.int64)  # (H, num_symbols)
+    per_val = lengths[:, safe_syms] * coded_mask[None, :, :]  # (H, G, gs)
+    totals = per_val.sum(axis=2)  # (H, G)
+    codebook_ids = np.argmin(totals, axis=0)
+
+    # Per-group rate control: groups whose nearest-centroid stream fits
+    # the payload budget (minus the reserved outlier slots) are untouched;
+    # over-budget groups shed exactly the excess bits by greedily
+    # remapping the values with the best distortion-per-saved-bit ratio
+    # to shorter-coded symbols.  Most such remaps are re-roundings to an
+    # adjacent centroid at a near-boundary value; remaps that skip past a
+    # neighbor genuinely lose resolution and are counted as the "clipped"
+    # symbols of the paper's Step 9.
+    cents = meta.patterns[pattern_ids]  # (G, 15)
+    dist2 = (norm.normalized[:, :, None] - cents[:, None, :]) ** 2
+
+    val_lengths = np.take_along_axis(
+        lengths[codebook_ids], safe_syms, axis=1
+    ) * coded_mask
+    bits_used = val_lengths.sum(axis=1) + config.header_bits
+    target_bits = config.block_bits - (
+        config.outlier_reserve_slots * config.outlier_bits
+    )
+
+    clipped = np.zeros(G, dtype=np.int64)
+    for _ in range(8):  # almost always one pass; stragglers re-enter
+        over = np.flatnonzero(bits_used > target_bits)
+        if over.size == 0:
+            break
+        n = over.size
+        gs = config.group_size
+        cb = lengths[codebook_ids[over]]  # (n, 15)
+        cur = safe_syms[over]  # (n, gs)
+        cur_len = np.take_along_axis(cb, cur, axis=1)  # (n, gs)
+        cur_dist = np.take_along_axis(dist2[over], cur[:, :, None], axis=2)[
+            :, :, 0
+        ]
+        # Best strictly-shorter alternative per value.
+        shorter = cb[:, None, :] < cur_len[:, :, None]  # (n, gs, 15)
+        alt_cost = np.where(shorter, dist2[over], np.inf)
+        alt = np.argmin(alt_cost, axis=2)  # (n, gs)
+        alt_dist = np.take_along_axis(dist2[over], alt[:, :, None], axis=2)[
+            :, :, 0
+        ]
+        alt_len = np.take_along_axis(cb, alt, axis=1)
+        saved = (cur_len - alt_len).astype(np.float64)
+        feasible = (saved > 0) & coded_mask[over]
+        added = np.where(feasible, alt_dist - cur_dist, np.inf)
+        ratio = added / np.maximum(saved, 1e-9)
+        order = np.argsort(ratio, axis=1, kind="stable")
+        saved_sorted = np.take_along_axis(
+            np.where(feasible, saved, 0.0), order, axis=1
+        )
+        need = (bits_used[over] - target_bits).astype(np.float64)
+        cumsave = np.cumsum(saved_sorted, axis=1)
+        # Minimal prefix of the ratio-sorted list covering the deficit.
+        take_sorted = (cumsave - saved_sorted < need[:, None]) & (
+            saved_sorted > 0
+        )
+        take = np.zeros((n, gs), dtype=bool)
+        np.put_along_axis(take, order, take_sorted, axis=1)
+        new_syms = np.where(take, alt, cur)
+        symbols[over] = np.where(coded_mask[over], new_syms, symbols[over])
+        safe_syms[over] = np.where(coded_mask[over], symbols[over], 0)
+        val_lengths[over] = np.take_along_axis(
+            lengths[codebook_ids[over]], safe_syms[over], axis=1
+        ) * coded_mask[over]
+        bits_used[over] = val_lengths[over].sum(axis=1) + config.header_bits
+        clipped[over] += (take & (np.abs(new_syms - cur) > 1)).sum(axis=1)
+
+    # Reconstruction (normalized domain) from the final symbols.
+    recon_norm = meta.patterns[pattern_ids[:, None], safe_syms]
+    recon_norm = np.where(coded_mask, recon_norm, 0.0).astype(np.float32)
+
+    # Outlier padding: leftover bits hold (position, correction) slots for
+    # the values with the largest (activation-weighted) residuals.
+    resid = np.where(coded_mask, norm.normalized - recon_norm, 0.0)
+    q = np.clip(
+        np.rint(resid * config.correction_scale), -127, 127
+    ).astype(np.int64)
+    capacity = np.minimum(
+        (config.block_bits - bits_used) // config.outlier_bits,
+        config.max_outliers,
+    ).astype(np.int64)
+    priority = np.abs(resid)
+    if aw is not None:
+        priority = priority * (aw + 1e-12)
+    order = np.argsort(-priority, axis=1, kind="stable")
+    eligible = (q != 0) & coded_mask
+    elig_sorted = np.take_along_axis(eligible, order, axis=1)
+    rank = np.cumsum(elig_sorted, axis=1)
+    take_sorted = elig_sorted & (rank <= capacity[:, None])
+    take = np.zeros_like(eligible)
+    np.put_along_axis(take, order, take_sorted, axis=1)
+    corrections = np.where(take, q, 0)
+    padded = take.sum(axis=1).astype(np.int64)
+
+    return EncodingPlan(
+        shape=tensor.shape,
+        pad=pad,
+        scales=norm.scales,
+        scale_pos=norm.absmax_pos,
+        pattern_ids=pattern_ids,
+        codebook_ids=codebook_ids,
+        symbols=symbols,
+        corrections=corrections,
+        clipped_symbols=clipped,
+        padded_outliers=padded,
+    )
+
+
+def reconstruct(
+    meta: TensorMeta, plan: EncodingPlan, apply_outliers: bool = True
+) -> np.ndarray:
+    """Shared vectorized reconstruction (used by every decode path)."""
+    config = meta.config
+    coded_mask = plan.symbols != SCALE_SYMBOL
+    safe_syms = np.where(coded_mask, plan.symbols, 0)
+    recon = meta.patterns[plan.pattern_ids[:, None], safe_syms].astype(np.float32)
+    if apply_outliers:
+        recon = recon + (
+            plan.corrections.astype(np.float32)
+            * np.float32(1.0 / config.correction_scale)
+        )
+    abs_scales = np.abs(plan.scales).astype(np.float32)
+    recon = recon * abs_scales[:, None]
+    rows = np.arange(plan.num_groups)
+    recon[rows, plan.scale_pos] = plan.scales
+    recon = recon * np.float32(2.0**meta.tensor_exp)
+    flat = recon.ravel()
+    if plan.pad:
+        flat = flat[: -plan.pad]
+    return flat.reshape(plan.shape)
+
+
+def simulate_roundtrip(
+    meta: TensorMeta,
+    tensor: np.ndarray,
+    act_weights: np.ndarray | None = None,
+    apply_outliers: bool = True,
+) -> SimulationResult:
+    """Vectorized fast path: what the tensor decodes to, without packing."""
+    plan = plan_encoding(meta, tensor, act_weights=act_weights)
+    values = reconstruct(meta, plan, apply_outliers=apply_outliers)
+    size = float(np.prod(plan.shape))
+    return SimulationResult(
+        values=values,
+        clipping_ratio=float(plan.clipped_symbols.sum()) / size,
+        padding_ratio=float(plan.padded_outliers.sum()) / size,
+        pattern_ids=plan.pattern_ids,
+    )
+
+
+class EccoTensorCodec:
+    """Bit-exact block codec for one tensor's shared metadata."""
+
+    def __init__(self, meta: TensorMeta):
+        self.meta = meta
+
+    def encode(
+        self, tensor: np.ndarray, act_weights: np.ndarray | None = None
+    ) -> CompressedTensor:
+        meta = self.meta
+        config = meta.config
+        plan = plan_encoding(meta, tensor, act_weights=act_weights)
+        blocks = np.zeros((plan.num_groups, config.block_bytes), dtype=np.uint8)
+        for g in range(plan.num_groups):
+            out_pos = np.flatnonzero(plan.corrections[g])
+            out_q = plan.corrections[g, out_pos]
+            data = pack_block(
+                config,
+                plan.scales[g],
+                int(plan.scale_pos[g]),
+                int(plan.pattern_ids[g]),
+                int(plan.codebook_ids[g]),
+                plan.symbols[g],
+                meta.codebook_lengths[plan.codebook_ids[g]],
+                meta.codebook_codes[plan.codebook_ids[g]],
+                out_pos,
+                out_q,
+            )
+            blocks[g] = np.frombuffer(data, dtype=np.uint8)
+        size = float(np.prod(plan.shape))
+        return CompressedTensor(
+            blocks=blocks,
+            shape=plan.shape,
+            pad=plan.pad,
+            clipping_ratio=float(plan.clipped_symbols.sum()) / size,
+            padding_ratio=float(plan.padded_outliers.sum()) / size,
+        )
+
+    def decode(self, compressed: CompressedTensor) -> np.ndarray:
+        meta = self.meta
+        config = meta.config
+        G = compressed.num_groups
+        scales = np.zeros(G, dtype=np.float32)
+        scale_pos = np.zeros(G, dtype=np.int64)
+        pattern_ids = np.zeros(G, dtype=np.int64)
+        codebook_ids = np.zeros(G, dtype=np.int64)
+        symbols = np.zeros((G, config.group_size), dtype=np.int64)
+        corrections = np.zeros((G, config.group_size), dtype=np.int64)
+        tables = decode_tables(meta.codebook_lengths)
+        for g in range(G):
+            (scale, pos, pid, cid, syms, out_pos, out_q) = unpack_block(
+                config,
+                compressed.blocks[g].tobytes(),
+                meta.codebook_lengths,
+                tables=tables,
+            )
+            scales[g] = scale
+            scale_pos[g] = pos
+            pattern_ids[g] = pid
+            codebook_ids[g] = cid
+            symbols[g] = syms
+            corrections[g, out_pos] = out_q
+        plan = EncodingPlan(
+            shape=compressed.shape,
+            pad=compressed.pad,
+            scales=scales,
+            scale_pos=scale_pos,
+            pattern_ids=pattern_ids,
+            codebook_ids=codebook_ids,
+            symbols=symbols,
+            corrections=corrections,
+            clipped_symbols=np.zeros(G, dtype=np.int64),
+            padded_outliers=np.zeros(G, dtype=np.int64),
+        )
+        return reconstruct(meta, plan)
+
+    def roundtrip(
+        self, tensor: np.ndarray, act_weights: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Encode + decode through the bit-exact block path."""
+        return self.decode(self.encode(tensor, act_weights=act_weights))
+
+    def fast_roundtrip(
+        self, tensor: np.ndarray, act_weights: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Vectorized roundtrip; identical values to :meth:`roundtrip`."""
+        return simulate_roundtrip(self.meta, tensor, act_weights=act_weights).values
+
+
+def compress_weight(
+    weight: np.ndarray,
+    act_weights: np.ndarray | None = None,
+    config: EccoConfig = WEIGHT_CONFIG,
+    seed: int = 0,
+    max_calibration_groups: int | None = 1024,
+) -> tuple[CompressedTensor, TensorMeta]:
+    """Calibrate on the tensor and compress it, in one call."""
+    meta = fit_tensor_meta(
+        weight,
+        act_weights=act_weights,
+        config=config,
+        seed=seed,
+        max_calibration_groups=max_calibration_groups,
+    )
+    compressed = EccoTensorCodec(meta).encode(weight, act_weights=act_weights)
+    return compressed, meta
+
+
+class ActivationCodec:
+    """The 2x activation path: FP16 -> 8-bit codes in fixed-size blocks.
+
+    Activations keep their outliers through the same scale-slot trick as
+    the 4x path but skip the Huffman stage: each group stores a signed fp16
+    scale, the scale position, and an 8-bit code per remaining value.
+    """
+
+    def __init__(self, group_size: int = 128):
+        self.group_size = group_size
+
+    @property
+    def compression_ratio(self) -> float:
+        # (fp16 bytes) / (codes + fp16 scale + position byte)
+        return (self.group_size * 2) / (self.group_size + 3)
+
+    def roundtrip(self, tensor: np.ndarray) -> np.ndarray:
+        tensor = np.asarray(tensor, dtype=np.float32)
+        groups, pad = to_groups(tensor, self.group_size)
+        absmax_pos = np.argmax(np.abs(groups), axis=1)
+        rows = np.arange(groups.shape[0])
+        scales = np.float16(groups[rows, absmax_pos]).astype(np.float32)
+        safe = np.where(np.abs(scales) > 0, np.abs(scales), np.float32(1.0))
+        q = np.clip(np.rint(groups / safe[:, None] * 127.0), -127, 127)
+        recon = (q.astype(np.float32) / np.float32(127.0)) * safe[:, None]
+        recon[rows, absmax_pos] = scales
+        flat = recon.ravel()
+        if pad:
+            flat = flat[:-pad]
+        return flat.reshape(tensor.shape)

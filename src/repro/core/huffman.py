@@ -1,0 +1,91 @@
+"""Length-limited canonical Huffman codes.
+
+The hardware decodes with fixed 8-bit speculative windows, so code lengths
+are capped at ``max_len`` bits.  Lengths come from the package-merge
+algorithm (optimal under a length limit); codes are assigned canonically so
+a table of (length, first-code, symbol-order) fully describes a codebook.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["limited_code_lengths", "canonical_codes", "kraft_sum"]
+
+
+def limited_code_lengths(counts: np.ndarray, max_len: int) -> np.ndarray:
+    """Optimal code lengths (package-merge) for ``counts`` capped at max_len."""
+    counts = np.asarray(counts, dtype=np.float64)
+    n = counts.size
+    active = np.flatnonzero(counts > 0)
+    if active.size == 0:
+        # Degenerate: no observed symbols; emit a flat fixed-length code.
+        lengths = np.full(n, int(np.ceil(np.log2(max(n, 2)))), dtype=np.uint8)
+        return lengths
+    if active.size == 1:
+        # Unused symbols still get (maximal-length) codes so any input
+        # stays encodable: 1/2 + (n-1)/2^max_len <= 1 for n <= 2^(L-1).
+        lengths = np.full(n, max_len, dtype=np.uint8)
+        lengths[active[0]] = 1
+        if kraft_sum(lengths) > 1.0:
+            raise ValueError(f"cannot code {n} symbols in {max_len} bits")
+        return lengths
+    if (1 << max_len) < active.size:
+        raise ValueError(f"cannot code {active.size} symbols in {max_len} bits")
+
+    # Package-merge over the active symbols.
+    weights = counts[active]
+    lengths_active = np.zeros(active.size, dtype=np.int64)
+    items = sorted((float(w), i) for i, w in enumerate(weights))
+    packages: list[list[tuple[float, tuple[int, ...]]]] = []
+    level = [(w, (i,)) for w, i in items]
+    for _ in range(max_len):
+        packages.append(level)
+        merged = []
+        for a in range(0, len(level) - 1, 2):
+            w = level[a][0] + level[a + 1][0]
+            syms = level[a][1] + level[a + 1][1]
+            merged.append((w, syms))
+        level = sorted(merged + [(w, (i,)) for w, i in items])
+    # Take the 2(m-1) cheapest items from the deepest level.
+    take = 2 * (active.size - 1)
+    for w, syms in packages[-1][:take]:
+        for s in syms:
+            lengths_active[s] += 1
+    lengths = np.zeros(n, dtype=np.uint8)
+    lengths[active] = lengths_active
+    # Unused symbols still get a (maximal-length) code so any input stays
+    # encodable; extend Kraft-feasibly.
+    unused = np.flatnonzero(counts <= 0)
+    if unused.size:
+        slack = 1.0 - kraft_sum(lengths)
+        per = slack / unused.size
+        if per >= 2.0 ** -max_len:
+            lengths[unused] = max_len
+        else:
+            # Make room: push the most frequent... cheapest fix is to
+            # recompute with +1 smoothing, which keeps every code valid.
+            return limited_code_lengths(np.maximum(counts, 1e-9), max_len)
+    assert kraft_sum(lengths) <= 1.0 + 1e-12
+    return lengths
+
+
+def kraft_sum(lengths: np.ndarray) -> float:
+    lengths = np.asarray(lengths)
+    used = lengths[lengths > 0].astype(np.float64)
+    return float(np.sum(2.0 ** -used))
+
+
+def canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Canonical code values for ``lengths`` (0 for unused symbols)."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    order = sorted((int(l), s) for s, l in enumerate(lengths) if l > 0)
+    codes = np.zeros(lengths.size, dtype=np.uint32)
+    code = 0
+    prev_len = order[0][0] if order else 0
+    for length, sym in order:
+        code <<= length - prev_len
+        prev_len = length
+        codes[sym] = code
+        code += 1
+    return codes

@@ -1,0 +1,76 @@
+"""Online KV-cache compression for the decode loop.
+
+``KVCacheCodec`` wraps the block codec with the online (min/max) pattern
+library; ``KVCacheStream`` is the per-(layer, head) cache that compresses
+every generated token's key and value vectors as they are appended and
+serves decompressed reads back to attention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .codec import CompressedTensor, EccoTensorCodec
+from .patterns import TensorMeta
+
+__all__ = ["KVCacheCodec", "KVCacheStream"]
+
+
+class KVCacheCodec(EccoTensorCodec):
+    """Block codec bound to an online-calibrated KV pattern library."""
+
+    def __init__(self, meta: TensorMeta):
+        if meta.config.pattern_select != "minmax":
+            raise ValueError(
+                "KV codecs use the hardware min/max selector; calibrate with "
+                "calibrate_kv_meta()"
+            )
+        super().__init__(meta)
+
+    def encode_token(self, vector: np.ndarray) -> CompressedTensor:
+        """Compress one token's K or V vector (padded to whole groups)."""
+        return self.encode(np.asarray(vector, dtype=np.float32).ravel())
+
+
+class KVCacheStream:
+    """An append-only compressed KV cache for one attention head group."""
+
+    def __init__(self, key_codec: KVCacheCodec, value_codec: KVCacheCodec):
+        self.key_codec = key_codec
+        self.value_codec = value_codec
+        self._keys: list[CompressedTensor] = []
+        self._values: list[CompressedTensor] = []
+        self.original_nbytes = 0
+        self.compressed_nbytes = 0
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def append(self, key: np.ndarray, value: np.ndarray) -> None:
+        ck = self.key_codec.encode_token(key)
+        cv = self.value_codec.encode_token(value)
+        self._keys.append(ck)
+        self._values.append(cv)
+        self.original_nbytes += (np.asarray(key).size + np.asarray(value).size) * 2
+        self.compressed_nbytes += ck.nbytes + cv.nbytes
+
+    @property
+    def compression_ratio(self) -> float:
+        if self.compressed_nbytes == 0:
+            return 1.0
+        return self.original_nbytes / self.compressed_nbytes
+
+    def read_keys(self) -> np.ndarray:
+        """Decompress the whole key cache (what attention reads)."""
+        if not self._keys:
+            return np.zeros(0, dtype=np.float32)
+        return np.concatenate(
+            [self.key_codec.decode(c).ravel() for c in self._keys]
+        )
+
+    def read_values(self) -> np.ndarray:
+        if not self._values:
+            return np.zeros(0, dtype=np.float32)
+        return np.concatenate(
+            [self.value_codec.decode(c).ravel() for c in self._values]
+        )

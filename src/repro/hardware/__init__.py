@@ -1,0 +1,36 @@
+"""Systems layer: microarchitectural models of the codec units."""
+
+from .cost import ComponentCost, EccoCostModel
+from .functional import (
+    CompressedBlock,
+    CompressorOutput,
+    DecodedBlock,
+    HardwareCompressor,
+    ParallelHuffmanDecoder,
+)
+from .pipelines import (
+    PipelineSpec,
+    SequentialDecoderModel,
+    compressor_2x_pipeline,
+    compressor_4x_pipeline,
+    decompressor_2x_pipeline,
+    decompressor_4x_pipeline,
+    latency_reduction_vs_parallel,
+)
+
+__all__ = [
+    "ComponentCost",
+    "CompressedBlock",
+    "CompressorOutput",
+    "DecodedBlock",
+    "EccoCostModel",
+    "HardwareCompressor",
+    "ParallelHuffmanDecoder",
+    "PipelineSpec",
+    "SequentialDecoderModel",
+    "compressor_2x_pipeline",
+    "compressor_4x_pipeline",
+    "decompressor_2x_pipeline",
+    "decompressor_4x_pipeline",
+    "latency_reduction_vs_parallel",
+]

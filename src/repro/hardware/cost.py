@@ -1,0 +1,86 @@
+"""Area/power model of the codec units (paper Table 3).
+
+A gate-inventory estimate: each unit is a kilo-gate count built up from its
+datapath blocks, scaled by a 7nm standard-cell area constant and a
+per-unit switching-activity factor.  Twenty instances of each unit sit at
+the L2 boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .pipelines import NUM_INSTANCES
+
+__all__ = ["EccoCostModel", "ComponentCost"]
+
+#: Effective 7nm standard-cell footprint, routing included (mm^2 per gate).
+AREA_PER_GATE_MM2 = 0.36e-6
+
+#: Dynamic + leakage power per gate at the A100's ~1.4 GHz (W per gate at
+#: activity 1.0).
+POWER_PER_GATE_W = 0.92e-6
+
+#: A100 reference envelope.
+A100_DIE_MM2 = 826.0
+A100_IDLE_W = 82.0
+
+
+@dataclass
+class ComponentCost:
+    name: str
+    kilo_gates: float  # per instance
+    activity: float  # switching activity factor
+    instances: int = NUM_INSTANCES
+
+    @property
+    def area_mm2(self) -> float:
+        return self.instances * self.kilo_gates * 1e3 * AREA_PER_GATE_MM2
+
+    @property
+    def power_w(self) -> float:
+        return (
+            self.instances
+            * self.kilo_gates
+            * 1e3
+            * POWER_PER_GATE_W
+            * self.activity
+        )
+
+    def area_ratio(self, die_mm2: float = A100_DIE_MM2) -> float:
+        return self.area_mm2 / die_mm2
+
+
+class EccoCostModel:
+    """Gate inventory for the four units (20 instances each)."""
+
+    def __init__(self):
+        self._components = [
+            # 512 speculative sub-decoders (~560 gates each) + the 64-wide
+            # merge tree + pattern/outlier/dequant datapath.
+            ComponentCost("Decompressor 4x", kilo_gates=443.0, activity=0.59),
+            # Fixed-width unpack + dequant only.
+            ComponentCost("Decompressor 2x", kilo_gates=79.0, activity=0.57),
+            # 128-input bitonic sorter (~2.8k comparators) + 4 parallel
+            # encoders + packer.
+            ComponentCost("Compressor 4x", kilo_gates=126.0, activity=0.50),
+            # Absmax scan + quantizer.
+            ComponentCost("Compressor 2x", kilo_gates=61.0, activity=0.50),
+        ]
+
+    def components(self) -> list[ComponentCost]:
+        return list(self._components)
+
+    @property
+    def total_area_mm2(self) -> float:
+        return sum(c.area_mm2 for c in self._components)
+
+    @property
+    def total_power_w(self) -> float:
+        return sum(c.power_w for c in self._components)
+
+    def area_fraction_of_a100(self) -> float:
+        return self.total_area_mm2 / A100_DIE_MM2
+
+    def power_fraction_of_idle(self) -> float:
+        return self.total_power_w / A100_IDLE_W

@@ -1,0 +1,43 @@
+"""Calibration capture: activation statistics and KV-cache samples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .model import ProxyModel
+
+__all__ = ["ActStats", "CalibrationData", "calibrate"]
+
+
+@dataclass
+class ActStats:
+    """Per-input-channel statistics of one projection's GEMM input."""
+
+    mean_sq: np.ndarray  # E[x^2] per channel
+
+
+@dataclass
+class CalibrationData:
+    """Everything the quantization schemes need from a calibration run."""
+
+    act_stats: dict = field(default_factory=dict)  # name -> ActStats
+    kv_samples: dict = field(default_factory=dict)  # "layers.N.k_cache" -> (T, d)
+    num_tokens: int = 0
+
+
+def calibrate(model: ProxyModel, tokens: np.ndarray) -> CalibrationData:
+    """Run ``tokens`` (one (batch, seq+1) block) through the model and
+    capture per-layer activation statistics and K/V samples."""
+    tokens = np.asarray(tokens)
+    inputs = tokens[:, :-1] if tokens.ndim == 2 else tokens[None, :-1]
+    capture: dict = {}
+    model.forward(inputs, capture=capture)
+    data = CalibrationData(num_tokens=int(inputs.size))
+    for name, (sq_sum, count) in capture.get("act_sq", {}).items():
+        data.act_stats[name] = ActStats(
+            mean_sq=(sq_sum / max(count, 1)).astype(np.float32)
+        )
+    data.kv_samples = capture.get("kv", {})
+    return data

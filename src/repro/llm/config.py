@@ -1,0 +1,105 @@
+"""Model specifications: the real LLMs the performance models cover, and
+the trained numpy proxy models the accuracy experiments use."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ModelSpec", "ProxySpec", "get_spec", "get_proxy_spec", "MODEL_SPECS",
+           "PROXY_SPECS"]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Architecture of a production LLM (LLaMA-family layout)."""
+
+    name: str
+    num_layers: int
+    d_model: int
+    n_heads: int
+    n_kv_heads: int
+    ffn_dim: int
+    vocab_size: int = 32000
+
+    @property
+    def head_dim(self) -> int:
+        return self.d_model // self.n_heads
+
+    @property
+    def kv_dim(self) -> int:
+        return self.n_kv_heads * self.head_dim
+
+    @property
+    def params_per_layer(self) -> int:
+        d, kv, f = self.d_model, self.kv_dim, self.ffn_dim
+        return 2 * d * d + 2 * d * kv + 3 * d * f
+
+    @property
+    def num_params(self) -> int:
+        return self.num_layers * self.params_per_layer + 2 * self.vocab_size * self.d_model
+
+    @property
+    def kv_bytes_per_token_fp16(self) -> int:
+        """K + V bytes per generated token at FP16."""
+        return 2 * self.num_layers * self.kv_dim * 2
+
+
+MODEL_SPECS = {
+    "llama-7b": ModelSpec("llama-7b", 32, 4096, 32, 32, 11008),
+    "llama-13b": ModelSpec("llama-13b", 40, 5120, 40, 40, 13824),
+    "llama-30b": ModelSpec("llama-30b", 60, 6656, 52, 52, 17920),
+    "llama-65b": ModelSpec("llama-65b", 80, 8192, 64, 64, 22016),
+    "llama2-7b": ModelSpec("llama2-7b", 32, 4096, 32, 32, 11008),
+    "llama2-70b": ModelSpec("llama2-70b", 80, 8192, 64, 8, 28672),
+    "mistral-7b": ModelSpec("mistral-7b", 32, 4096, 32, 8, 14336),
+}
+
+
+def get_spec(name: str) -> ModelSpec:
+    """Look up a production model architecture by name."""
+    try:
+        return MODEL_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; known: {sorted(MODEL_SPECS)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ProxySpec:
+    """Architecture + training budget of a trained numpy proxy model."""
+
+    name: str
+    num_layers: int
+    d_model: int
+    n_heads: int
+    ffn_dim: int
+    vocab_size: int
+    seq_len: int = 64
+    train_steps: int = 900
+    batch_size: int = 32
+    learning_rate: float = 8e-3
+
+    @property
+    def head_dim(self) -> int:
+        return self.d_model // self.n_heads
+
+
+PROXY_SPECS = {
+    "proxy-small": ProxySpec("proxy-small", num_layers=2, d_model=64,
+                             n_heads=4, ffn_dim=128, vocab_size=64),
+    "proxy-medium": ProxySpec("proxy-medium", num_layers=3, d_model=96,
+                              n_heads=4, ffn_dim=192, vocab_size=64),
+    "proxy-large": ProxySpec("proxy-large", num_layers=4, d_model=128,
+                             n_heads=4, ffn_dim=256, vocab_size=64,
+                             train_steps=1600, learning_rate=6e-3),
+}
+
+
+def get_proxy_spec(name: str) -> ProxySpec:
+    try:
+        return PROXY_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown proxy {name!r}; known: {sorted(PROXY_SPECS)}"
+        ) from None

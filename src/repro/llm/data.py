@@ -1,0 +1,178 @@
+"""Synthetic corpus and task suite for the proxy language models.
+
+The vocabulary is 64 tokens; the corpus is a stream of short "sentences",
+most of which are instances of five structured tasks (the zero-shot suite
+of Table 2).  Each task is a deterministic mapping the model must learn:
+
+* ``agreement`` — a subject token's class (singular/plural) selects the
+  verb class after a span of distractors;
+* ``selection`` — answer with the largest (or smallest, per the probe
+  marker) digit in the list;
+* ``counting``  — answer with how many times the probe symbol occurred;
+* ``copy``      — repeat a span verbatim after a separator;
+* ``sorting``   — emit the span's digits in ascending order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TASK_NAMES", "MCItem", "SyntheticCorpus"]
+
+TASK_NAMES = ["agreement", "selection", "counting", "copy", "sorting"]
+
+# Token map (vocab = 64).
+DIGITS = list(range(0, 10))  # value tokens 0..9
+ITEMS = list(range(10, 20))  # list-item symbols
+SUBJ_SG = list(range(20, 25))
+SUBJ_PL = list(range(25, 30))
+VERB_SG = list(range(30, 35))
+VERB_PL = list(range(35, 40))
+FILLER = list(range(40, 50))
+TASK_MARKS = {"agreement": 50, "selection": 51, "counting": 52,
+              "copy": 53, "sorting": 54}
+MAX_MARK = 55
+MIN_MARK = 56
+QUERY = 60
+SEP = 61
+BOS = 62
+EOS = 63
+
+VOCAB_SIZE = 64
+
+
+@dataclass
+class MCItem:
+    """One multiple-choice item scored by continuation likelihood."""
+
+    prompt: np.ndarray
+    choices: list  # list of token arrays
+    answer: int
+    task: str = ""
+
+
+def _agreement(rng: np.random.Generator) -> tuple[list, list, list]:
+    plural = bool(rng.integers(2))
+    subj = (SUBJ_PL[0] if plural else SUBJ_SG[0]) + int(rng.integers(5))
+    verb = (VERB_PL[0] if plural else VERB_SG[0]) + int(rng.integers(5))
+    wrong = (VERB_SG[0] if plural else VERB_PL[0]) + int(rng.integers(5))
+    span = (FILLER[0] + rng.integers(0, 10, size=int(rng.integers(2, 7)))).tolist()
+    prompt = [TASK_MARKS["agreement"], subj, *span, QUERY]
+    return prompt, [verb], [wrong]
+
+
+def _selection(rng: np.random.Generator) -> tuple[list, list, list]:
+    m = int(rng.integers(3, 6))
+    digits = [int(t) for t in rng.permutation(10)[:m]]
+    want_max = bool(rng.integers(2))
+    mark = MAX_MARK if want_max else MIN_MARK
+    answer = max(digits) if want_max else min(digits)
+    others = [d for d in digits if d != answer]
+    wrong = others[int(rng.integers(len(others)))]
+    prompt = [TASK_MARKS["selection"], *digits, QUERY, mark]
+    return prompt, [answer], [wrong]
+
+
+def _counting(rng: np.random.Generator) -> tuple[list, list, list]:
+    target = ITEMS[0] + int(rng.integers(4))
+    count = int(rng.integers(1, 5))
+    span = [target] * count + (
+        ITEMS[4] + rng.integers(0, 4, size=int(rng.integers(1, 4)))
+    ).tolist()
+    rng.shuffle(span)
+    wrong = count + 1 if count < 4 else count - 1
+    prompt = [TASK_MARKS["counting"], *span, QUERY, target]
+    return prompt, [DIGITS[count]], [DIGITS[wrong]]
+
+
+def _copy(rng: np.random.Generator) -> tuple[list, list, list]:
+    m = int(rng.integers(3, 6))
+    span = (ITEMS[0] + rng.integers(0, 10, size=m)).tolist()
+    corrupt = list(span)
+    pos = int(rng.integers(0, m))
+    corrupt[pos] = ITEMS[0] + int((span[pos] - ITEMS[0] + 1 + rng.integers(9)) % 10)
+    prompt = [TASK_MARKS["copy"], *span, SEP]
+    return prompt, span, corrupt
+
+
+def _sorting(rng: np.random.Generator) -> tuple[list, list, list]:
+    m = int(rng.integers(3, 6))
+    digits = sorted(int(t) for t in rng.permutation(10)[:m])
+    shuffled = list(digits)
+    while shuffled == digits:
+        rng.shuffle(shuffled)
+    prompt = [TASK_MARKS["sorting"], *shuffled, SEP]
+    wrong = list(digits)
+    i, j = rng.permutation(m)[:2]
+    wrong[i], wrong[j] = wrong[j], wrong[i]
+    return prompt, digits, wrong
+
+
+_GENERATORS = {
+    "agreement": _agreement,
+    "selection": _selection,
+    "counting": _counting,
+    "copy": _copy,
+    "sorting": _sorting,
+}
+
+
+@dataclass
+class SyntheticCorpus:
+    """Deterministic corpus/task generator for one proxy model."""
+
+    vocab_size: int = VOCAB_SIZE
+    task_fraction: float = 0.85
+
+    def _sentence(self, rng: np.random.Generator) -> list:
+        if rng.random() < self.task_fraction:
+            task = TASK_NAMES[int(rng.integers(len(TASK_NAMES)))]
+            prompt, answer, _ = _GENERATORS[task](rng)
+            return [BOS, *prompt, *answer, EOS]
+        span = (FILLER[0] + rng.integers(0, 10, size=int(rng.integers(3, 9)))).tolist()
+        return [BOS, *span, EOS]
+
+    def token_stream(self, num_tokens: int, seed: int = 0) -> np.ndarray:
+        """A flat held-out token stream for perplexity evaluation."""
+        rng = np.random.default_rng(seed)
+        out: list = []
+        while len(out) < num_tokens:
+            out.extend(self._sentence(rng))
+        return np.array(out[:num_tokens], dtype=np.int64)
+
+    def batches(
+        self, num_tokens: int, batch: int, seq_len: int, seed: int = 0
+    ) -> list:
+        """Training/calibration batches of shape ``(batch, seq_len + 1)``.
+
+        Each row holds ``seq_len`` inputs plus the shifted targets, the
+        usual next-token layout.
+        """
+        stream = self.token_stream(num_tokens, seed=seed)
+        window = seq_len + 1
+        num_rows = stream.size // window
+        rows = stream[: num_rows * window].reshape(num_rows, window)
+        return [rows[i : i + batch] for i in range(0, num_rows, batch)
+                if rows[i : i + batch].shape[0] == batch]
+
+    def task_items(self, task: str, count: int, seed: int = 0) -> list:
+        """Multiple-choice items for one task (the lm-eval protocol)."""
+        if task not in _GENERATORS:
+            raise KeyError(f"unknown task {task!r}; known: {TASK_NAMES}")
+        rng = np.random.default_rng(seed)
+        items = []
+        for _ in range(count):
+            prompt, answer, wrong = _GENERATORS[task](rng)
+            order = int(rng.integers(2))
+            choices = [answer, wrong] if order == 0 else [wrong, answer]
+            items.append(
+                MCItem(
+                    prompt=np.array([BOS, *prompt], dtype=np.int64),
+                    choices=[np.array(c, dtype=np.int64) for c in choices],
+                    answer=order,
+                    task=task,
+                )
+            )
+        return items

@@ -1,0 +1,47 @@
+"""AWQ-style activation-aware weight quantization (our W4 baseline).
+
+AWQ protects salient weight channels by scaling them up before group-wise
+INT4 quantization and folding the inverse scale into the activations; the
+fake-quant model applies both sides so the layer function is preserved up
+to quantization error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .uniform import uniform_quantize
+
+__all__ = ["awq_scales", "awq_weight"]
+
+
+def awq_scales(
+    act_mean_sq: np.ndarray, alpha: float = 0.5, floor: float = 1e-8
+) -> np.ndarray:
+    """Per-input-channel AWQ scales ``s = E[x^2]^(alpha/2)``, normalized."""
+    mag = np.sqrt(np.maximum(np.asarray(act_mean_sq, dtype=np.float64), floor))
+    s = mag**alpha
+    s = s / np.exp(np.mean(np.log(np.maximum(s, floor))))
+    return np.clip(s, 1e-4, 1e4).astype(np.float32)
+
+
+def awq_weight(
+    weight: np.ndarray,
+    act_mean_sq: np.ndarray | None = None,
+    bits: int = 4,
+    group_size: int = 128,
+    alpha: float = 0.5,
+) -> np.ndarray:
+    """Activation-aware group-wise INT4 fake quantization of ``weight``.
+
+    ``weight`` is (out_features, in_features); ``act_mean_sq`` is the mean
+    squared activation per input channel from calibration.  Without
+    statistics this degrades to plain group-wise RTN.
+    """
+    weight = np.asarray(weight, dtype=np.float32)
+    if act_mean_sq is None:
+        return uniform_quantize(weight, bits, group_size=group_size)
+    s = awq_scales(act_mean_sq, alpha=alpha)
+    scaled = weight * s[None, :]
+    q = uniform_quantize(scaled, bits, group_size=group_size)
+    return (q / s[None, :]).astype(np.float32)

@@ -1,0 +1,157 @@
+"""Tier-0 codec invariants: fast unit tests with no trained models.
+
+These guard the properties the whole reproduction rests on: the block
+format is exactly 64 bytes, encode/decode is bit-exact with the vectorized
+fast path, the metadata accounting is consistent, and the KV stream
+delivers its 4x capacity win.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    KV_CONFIG,
+    WEIGHT_CONFIG,
+    EccoTensorCodec,
+    KVCacheCodec,
+    KVCacheStream,
+    calibrate_kv_meta,
+    compress_weight,
+    fit_tensor_meta,
+    simulate_roundtrip,
+    to_groups,
+)
+
+
+@pytest.fixture(scope="module")
+def weight_tensor():
+    rng = np.random.default_rng(42)
+    scales = np.exp(rng.normal(0.0, 0.7, size=(64, 1)))
+    return (rng.standard_t(df=5, size=(64, 512)) * scales * 0.02).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def weight_meta(weight_tensor):
+    return fit_tensor_meta(weight_tensor, max_calibration_groups=256)
+
+
+def test_blocks_are_64_bytes(weight_meta, weight_tensor):
+    compressed = EccoTensorCodec(weight_meta).encode(weight_tensor)
+    assert compressed.blocks.shape == (weight_tensor.size // 128, 64)
+    assert compressed.blocks.dtype == np.uint8
+    assert compressed.nbytes == compressed.num_groups * 64
+
+
+def test_compression_ratio_is_4x(weight_meta, weight_tensor):
+    compressed = EccoTensorCodec(weight_meta).encode(weight_tensor)
+    assert compressed.compression_ratio == pytest.approx(4.0)
+
+
+def test_encode_decode_bit_exact_with_fast_path(weight_meta, weight_tensor):
+    codec = EccoTensorCodec(weight_meta)
+    decoded = codec.decode(codec.encode(weight_tensor))
+    sim = simulate_roundtrip(weight_meta, weight_tensor)
+    assert np.array_equal(decoded, sim.values)
+    assert decoded.shape == weight_tensor.shape
+
+
+def test_roundtrip_reduces_to_quantization_error(weight_meta, weight_tensor):
+    sim = simulate_roundtrip(weight_meta, weight_tensor)
+    rel_rms = np.sqrt(np.mean((sim.values - weight_tensor) ** 2)) / np.std(
+        weight_tensor
+    )
+    assert rel_rms < 0.3  # 15-level quantization + outlier padding
+
+
+def test_metadata_bits_accounting(weight_meta):
+    config = weight_meta.config
+    expected = (
+        weight_meta.patterns.size * 16
+        + weight_meta.codebook_lengths.size * 4
+        + 8
+        + 16
+    )
+    assert weight_meta.metadata_bits() == expected
+    assert weight_meta.patterns.shape == (config.num_patterns, 15)
+    assert weight_meta.codebook_lengths.shape == (config.num_codebooks, 15)
+
+
+def test_patterns_sorted_and_in_range(weight_meta):
+    assert np.all(np.diff(weight_meta.patterns, axis=1) >= 0)
+    assert np.all(weight_meta.patterns >= -1.0)
+    assert np.all(weight_meta.patterns <= 1.0)
+
+
+def test_huffman_codebooks_kraft_valid(weight_meta):
+    lengths = weight_meta.codebook_lengths.astype(np.float64)
+    kraft = np.sum(2.0**-lengths, axis=1)
+    assert np.all(kraft <= 1.0 + 1e-12)
+    assert np.all(weight_meta.codebook_lengths >= 1)
+    assert np.all(weight_meta.codebook_lengths <= weight_meta.config.max_code_len)
+
+
+def test_budget_never_exceeded(weight_meta, weight_tensor):
+    """Every block's payload must fit: header + codes + outliers <= 512."""
+    from repro.core import plan_encoding
+
+    plan = plan_encoding(weight_meta, weight_tensor)
+    config = weight_meta.config
+    lengths = weight_meta.codebook_lengths.astype(np.int64)
+    for g in range(plan.num_groups):
+        coded = plan.symbols[g] != 15
+        bits = int(lengths[plan.codebook_ids[g]][plan.symbols[g][coded]].sum())
+        bits += config.header_bits
+        bits += int((plan.corrections[g] != 0).sum()) * config.outlier_bits
+        assert bits <= config.block_bits, g
+
+
+def test_partial_group_padding():
+    rng = np.random.default_rng(3)
+    tensor = rng.standard_normal(200).astype(np.float32)  # not a multiple of 128
+    groups, pad = to_groups(tensor, 128)
+    assert groups.shape == (2, 128)
+    assert pad == 56
+    meta = fit_tensor_meta(tensor)
+    codec = EccoTensorCodec(meta)
+    decoded = codec.decode(codec.encode(tensor))
+    assert decoded.shape == tensor.shape
+
+
+def test_kv_stream_compression_ratio():
+    rng = np.random.default_rng(7)
+    meta = calibrate_kv_meta(rng.standard_normal((64, 128)), seed=0)
+    codec = KVCacheCodec(meta)
+    stream = KVCacheStream(key_codec=codec, value_codec=codec)
+    steps, dim = 24, 128
+    keys = rng.standard_normal((steps, dim))
+    values = rng.standard_normal((steps, dim))
+    for i in range(steps):
+        stream.append(keys[i], values[i])
+    assert len(stream) == steps
+    assert stream.compression_ratio == pytest.approx(4.0)
+    restored = stream.read_keys().reshape(steps, dim)
+    err = np.sqrt(np.mean((restored - keys) ** 2)) / np.std(keys)
+    assert err < 0.35
+
+
+def test_kv_codec_requires_minmax_meta():
+    rng = np.random.default_rng(9)
+    meta = fit_tensor_meta(rng.standard_normal((32, 128)), config=WEIGHT_CONFIG)
+    with pytest.raises(ValueError):
+        KVCacheCodec(meta)
+
+
+def test_compress_weight_one_call():
+    rng = np.random.default_rng(11)
+    weight = (rng.standard_t(df=5, size=(32, 256)) * 0.02).astype(np.float32)
+    compressed, meta = compress_weight(weight)
+    assert compressed.num_groups == weight.size // 128
+    decoded = EccoTensorCodec(meta).decode(compressed)
+    assert decoded.shape == weight.shape
+
+
+def test_kv_config_uses_minmax_selection():
+    assert KV_CONFIG.pattern_select == "minmax"
+    assert KV_CONFIG.num_patterns == 16
+    assert WEIGHT_CONFIG.pattern_select == "mse"
+    assert WEIGHT_CONFIG.num_patterns == 64
