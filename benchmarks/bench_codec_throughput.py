@@ -1,19 +1,31 @@
 """Software codec micro-benchmarks (pytest-benchmark timing rounds).
 
 These time the Python reference implementations themselves — the bit-exact
-block codec, the vectorized fast path, and the 2x activation codec — so
-regressions in the library's own performance are visible.
+block codec, the vectorized fast path, the 2x activation codec, and the
+streaming KV decode loop — so regressions in the library's own performance
+are visible.  ``test_streaming_decode_pipeline_speedup`` also writes a
+``results/codec_throughput_streaming.json`` report comparing the batched,
+decode-cached pipeline against the legacy one-block-at-a-time,
+re-decode-everything loop it replaced.
 """
+
+import time
 
 import numpy as np
 import pytest
 
+from _report import write_report
 from repro.core import (
     ActivationCodec,
     EccoTensorCodec,
+    KVCacheCodec,
+    KVCacheStream,
+    calibrate_kv_meta,
     fit_tensor_meta,
     simulate_roundtrip,
 )
+from repro.core.blocks import decode_tables, pack_block, unpack_block
+from repro.core.codec import EncodingPlan, plan_encoding, reconstruct
 
 
 @pytest.fixture(scope="module")
@@ -65,16 +77,165 @@ def test_activation_codec_roundtrip(benchmark):
     assert decoded.shape == act.shape
 
 
-def test_fast_path_much_faster_than_bit_path(weight_setup):
-    """The vectorized path must stay an order of magnitude faster."""
-    import time
-
+def test_bit_path_close_to_fast_path(weight_setup):
+    """The vectorized bit path must stay within a small factor of the
+    pack-free fast path (it shares the planning pass and only adds the
+    word-level pack/unpack) — a large gap means the block serialization
+    regressed back toward per-bit Python loops."""
     meta, tensor = weight_setup
     codec = EccoTensorCodec(meta)
-    start = time.perf_counter()
-    codec.roundtrip(tensor)
-    bit_path = time.perf_counter() - start
-    start = time.perf_counter()
-    simulate_roundtrip(meta, tensor)
-    fast_path = time.perf_counter() - start
-    assert fast_path * 3 < bit_path
+    codec.roundtrip(tensor)  # warm the cached decode tables
+
+    def best_of(fn, rounds=3):
+        times = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    bit_path = best_of(lambda: codec.roundtrip(tensor))
+    fast_path = best_of(lambda: simulate_roundtrip(meta, tensor))
+    assert fast_path < bit_path * 1.2  # packing is never free...
+    assert bit_path < fast_path * 10  # ...but must stay the same order
+
+
+# ----------------------------------------------------------------------
+# Streaming KV decode loop: batched + decode-cached pipeline vs. the
+# legacy loop (per-group Python packing, full re-decode on every read,
+# decode tables rebuilt per call) it replaced.
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def kv_setup():
+    rng = np.random.default_rng(21)
+    scales = np.exp(rng.normal(0.0, 1.2, size=128))
+    calibration = rng.standard_normal((512, 128)) * scales * 0.3
+    meta = calibrate_kv_meta(calibration, seed=0)
+    tokens = (rng.standard_normal((96, 128)) * scales * 0.3).astype(np.float32)
+    return meta, tokens
+
+
+def _legacy_encode_token(meta, vector):
+    """One token through per-group Python packing (the pre-pipeline path)."""
+    plan = plan_encoding(meta, np.asarray(vector, dtype=np.float32).ravel())
+    blocks = np.zeros((plan.num_groups, meta.config.block_bytes), dtype=np.uint8)
+    for g in range(plan.num_groups):
+        out_pos = np.flatnonzero(plan.corrections[g])
+        data = pack_block(
+            meta.config,
+            plan.scales[g],
+            int(plan.scale_pos[g]),
+            int(plan.pattern_ids[g]),
+            int(plan.codebook_ids[g]),
+            plan.symbols[g],
+            meta.codebook_lengths[plan.codebook_ids[g]],
+            meta.codebook_codes[plan.codebook_ids[g]],
+            out_pos,
+            plan.corrections[g, out_pos],
+        )
+        blocks[g] = np.frombuffer(data, dtype=np.uint8)
+    return blocks, plan.shape
+
+
+def _legacy_decode(meta, blocks, shape):
+    """One segment through the pre-pipeline decode: tables rebuilt per
+    call, one bit-by-bit unpack per group."""
+    config = meta.config
+    G = blocks.shape[0]
+    scales = np.zeros(G, dtype=np.float32)
+    scale_pos = np.zeros(G, dtype=np.int64)
+    pattern_ids = np.zeros(G, dtype=np.int64)
+    codebook_ids = np.zeros(G, dtype=np.int64)
+    symbols = np.zeros((G, config.group_size), dtype=np.int64)
+    corrections = np.zeros((G, config.group_size), dtype=np.int64)
+    tables = decode_tables(meta.codebook_lengths)
+    for g in range(G):
+        (scale, pos, pid, cid, syms, out_pos, out_q) = unpack_block(
+            config, blocks[g].tobytes(), meta.codebook_lengths, tables=tables
+        )
+        scales[g] = scale
+        scale_pos[g] = pos
+        pattern_ids[g] = pid
+        codebook_ids[g] = cid
+        symbols[g] = syms
+        corrections[g, out_pos] = out_q
+    plan = EncodingPlan(
+        shape=shape, pad=0, scales=scales, scale_pos=scale_pos,
+        pattern_ids=pattern_ids, codebook_ids=codebook_ids, symbols=symbols,
+        corrections=corrections,
+        clipped_symbols=np.zeros(G, dtype=np.int64),
+        padded_outliers=np.zeros(G, dtype=np.int64),
+    )
+    return reconstruct(meta, plan)
+
+
+def test_streaming_decode_pipeline_speedup(kv_setup):
+    """The decode-cached pipeline must beat the legacy loop >= 5x on the
+    decode path, and every token must be block-decoded exactly once."""
+    meta, tokens = kv_setup
+    steps = tokens.shape[0]
+
+    # Legacy loop: append one token, then re-decode *every* historical
+    # token's blocks for both K and V reads (O(T^2) block decodes).
+    k_segs, v_segs = [], []
+    legacy_append_s = 0.0
+    legacy_read_s = 0.0
+    for step in range(steps):
+        start = time.perf_counter()
+        k_segs.append(_legacy_encode_token(meta, tokens[step]))
+        v_segs.append(_legacy_encode_token(meta, tokens[step]))
+        legacy_append_s += time.perf_counter() - start
+        start = time.perf_counter()
+        np.concatenate([_legacy_decode(meta, b, s).ravel() for b, s in k_segs])
+        np.concatenate([_legacy_decode(meta, b, s).ravel() for b, s in v_segs])
+        legacy_read_s += time.perf_counter() - start
+
+    # New pipeline: batched encode plans, cached decode tables, and the
+    # decoded-segment cache (each read decodes only the new token).
+    codec = KVCacheCodec(meta)
+    stream = KVCacheStream(key_codec=codec, value_codec=codec)
+    new_append_s = 0.0
+    new_read_s = 0.0
+    for step in range(steps):
+        start = time.perf_counter()
+        stream.append(tokens[step], tokens[step])
+        new_append_s += time.perf_counter() - start
+        start = time.perf_counter()
+        stream.read_keys()
+        stream.read_values()
+        new_read_s += time.perf_counter() - start
+
+    legacy_read_tps = steps / legacy_read_s
+    new_read_tps = steps / new_read_s
+    legacy_loop_tps = steps / (legacy_append_s + legacy_read_s)
+    new_loop_tps = steps / (new_append_s + new_read_s)
+    data = {
+        "decode_steps": steps,
+        "legacy_decode_tokens_per_s": legacy_read_tps,
+        "new_decode_tokens_per_s": new_read_tps,
+        "decode_path_speedup": new_read_tps / legacy_read_tps,
+        "legacy_loop_tokens_per_s": legacy_loop_tps,
+        "new_loop_tokens_per_s": new_loop_tps,
+        "loop_speedup": new_loop_tps / legacy_loop_tps,
+        "tokens_block_decoded": dict(stream.decoded_tokens),
+    }
+    write_report(
+        "codec_throughput_streaming",
+        [
+            f"decode steps:            {steps}",
+            f"legacy decode path:      {legacy_read_tps:10.1f} tokens/s",
+            f"pipelined decode path:   {new_read_tps:10.1f} tokens/s "
+            f"({data['decode_path_speedup']:.1f}x)",
+            f"legacy full loop:        {legacy_loop_tps:10.1f} tokens/s",
+            f"pipelined full loop:     {new_loop_tps:10.1f} tokens/s "
+            f"({data['loop_speedup']:.1f}x)",
+            f"tokens block-decoded:    {stream.decoded_tokens['keys']} keys / "
+            f"{stream.decoded_tokens['values']} values (of {steps} appended)",
+        ],
+        data,
+    )
+    # Every appended token decoded exactly once despite `steps` full reads.
+    assert stream.decoded_tokens == {"keys": steps, "values": steps}
+    assert data["decode_path_speedup"] >= 5.0

@@ -1,13 +1,19 @@
 """Online KV-cache compression during autoregressive decoding.
 
-Simulates the decode loop the paper targets: every generated token's key and
-value vectors are compressed on the fly (min/max pattern selection, the
-hardware-friendly path), and the attention "reads back" the decompressed
-cache.  Reports the capacity win and the reconstruction error the attention
-kernel would see.
+Simulates the decode loop the paper targets: the prompt's key/value vectors
+are compressed in one batched planning pass, every generated token's K and
+V are compressed on the fly (min/max pattern selection, the
+hardware-friendly path), and attention "reads back" the decompressed cache
+each step.  The decoded-segment cache makes those reads amortized O(new
+tokens): the counters printed below show each token is block-decoded
+exactly once across the whole generation.  Reports the capacity win, the
+decode-loop throughput, and the reconstruction error the attention kernel
+would see.
 
 Run with:  python examples/kv_cache_streaming.py
 """
+
+import time
 
 import numpy as np
 
@@ -23,7 +29,9 @@ def synthetic_kv(rng: np.random.Generator, steps: int, dim: int) -> np.ndarray:
 def main() -> None:
     rng = np.random.default_rng(7)
     head_dim = 128
+    prefill_tokens = 32
     decode_steps = 96
+    total = prefill_tokens + decode_steps
 
     # Offline: fit the 16-pattern hardware library on calibration KV data.
     calibration = synthetic_kv(rng, 512, head_dim)
@@ -32,21 +40,34 @@ def main() -> None:
     print(f"calibrated {meta.num_patterns} shared k-means patterns "
           f"({meta.config.pattern_select} selection)")
 
-    # Online: compress each new token's K and V as they are produced.
+    keys = synthetic_kv(rng, total, head_dim)
+    values = synthetic_kv(rng, total, head_dim)
     stream = KVCacheStream(key_codec=codec, value_codec=codec)
-    keys = synthetic_kv(rng, decode_steps, head_dim)
-    values = synthetic_kv(rng, decode_steps, head_dim)
-    for step in range(decode_steps):
-        stream.append(keys[step], values[step])
 
-    print(f"decode steps:       {len(stream)}")
+    # Prefill: the whole prompt compresses in one batched planning pass.
+    stream.append_tokens(keys[:prefill_tokens], values[:prefill_tokens])
+
+    # Online decode loop: compress each new token's K and V, then read the
+    # full cache back the way attention does every step.
+    start = time.perf_counter()
+    for step in range(prefill_tokens, total):
+        stream.append(keys[step], values[step])
+        restored_k = stream.read_keys()
+        restored_v = stream.read_values()
+    decode_s = time.perf_counter() - start
+
+    print(f"cached tokens:      {len(stream)} "
+          f"({prefill_tokens} prefill + {decode_steps} decoded)")
     print(f"cache size:         {stream.original_nbytes / 1024:.1f} KiB FP16 "
           f"-> {stream.compressed_nbytes / 1024:.1f} KiB compressed "
-          f"({stream.original_nbytes / stream.compressed_nbytes:.2f}x)")
+          f"({stream.compression_ratio:.2f}x)")
+    print(f"decode loop:        {decode_steps / decode_s:,.0f} tokens/s "
+          f"({decode_steps} steps, each reading the whole cache)")
+    print(f"tokens block-decoded: {stream.decoded_tokens['keys']} keys / "
+          f"{stream.decoded_tokens['values']} values "
+          f"(= {len(stream)} each: every token decoded exactly once)")
 
-    # What attention reads back.
-    restored_k = stream.read_keys().reshape(decode_steps, head_dim)
-    restored_v = stream.read_values().reshape(decode_steps, head_dim)
+    # What attention reads back: (num_tokens, head_dim), no reshape needed.
     k_err = np.sqrt(np.mean((restored_k - keys) ** 2)) / np.std(keys)
     v_err = np.sqrt(np.mean((restored_v - values) ** 2)) / np.std(values)
     print(f"K relative RMS:     {k_err:.4f}")

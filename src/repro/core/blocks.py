@@ -14,13 +14,34 @@ Huffman payload          —   (one code per non-scale value, in order)
 outlier slots         16×n   (8-bit position + 8-bit signed correction)
 zero padding             —   (to 512)
 ====================  ====
+
+Two implementations share this layout:
+
+* :func:`pack_block` / :func:`unpack_block` — the scalar reference, one
+  Python-level bit at a time.  Kept as the executable specification the
+  vectorized path is tested against.
+* :func:`pack_blocks` / :func:`unpack_blocks` — the production path: all
+  groups at once through ``np.packbits`` / ``np.unpackbits`` bit planes
+  and 256-entry speculative-window Huffman tables (the software twin of
+  the hardware's 8-bit window decode).  Byte-for-byte identical output.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["BitWriter", "BitReader", "pack_block", "unpack_block"]
+from .patterns import SCALE_SYMBOL
+
+__all__ = [
+    "BitWriter",
+    "BitReader",
+    "pack_block",
+    "unpack_block",
+    "pack_blocks",
+    "unpack_blocks",
+    "decode_tables",
+    "window_tables",
+]
 
 
 class BitWriter:
@@ -78,7 +99,7 @@ def pack_block(
     outlier_pos: np.ndarray,
     outlier_q: np.ndarray,
 ) -> bytes:
-    """Serialize one group into its 64-byte block."""
+    """Serialize one group into its 64-byte block (scalar reference)."""
     writer = BitWriter(config.block_bytes)
     writer.write(int(np.float16(scale).view(np.uint16)), 16)
     writer.write(int(scale_pos), config.scale_pos_bits)
@@ -113,8 +134,330 @@ def decode_tables(code_lengths: np.ndarray) -> list:
     return tables
 
 
+def window_tables(code_lengths: np.ndarray, window_bits: int) -> tuple:
+    """Speculative-window Huffman decode tables, one row per codebook.
+
+    For every ``window_bits``-wide bit window the tables give the symbol
+    whose canonical code prefixes the window and that code's length (0
+    marks an invalid window).  Because canonical codes are prefix-free the
+    window ranges never collide — this is exactly the hardware's 8-bit
+    window decoder as two (H, 2**window_bits) arrays.  The returned tuple
+    also carries the same tables as nested Python lists, which the
+    small-stack scalar decode indexes without per-call conversion.
+    """
+    from .huffman import canonical_codes
+
+    H, num_symbols = code_lengths.shape
+    sym_table = np.zeros((H, 1 << window_bits), dtype=np.int64)
+    len_table = np.zeros((H, 1 << window_bits), dtype=np.int64)
+    for h in range(H):
+        lengths = code_lengths[h]
+        codes = canonical_codes(lengths)
+        for s in range(num_symbols):
+            length = int(lengths[s])
+            if length == 0 or length > window_bits:
+                continue
+            lo = int(codes[s]) << (window_bits - length)
+            hi = (int(codes[s]) + 1) << (window_bits - length)
+            sym_table[h, lo:hi] = s
+            len_table[h, lo:hi] = length
+    return sym_table, len_table, sym_table.tolist(), len_table.tolist()
+
+
+def _scatter_bits(
+    bits: np.ndarray,
+    values: np.ndarray,
+    widths: np.ndarray,
+    starts: np.ndarray,
+    rows: np.ndarray,
+    max_width: int,
+) -> None:
+    """Write ``values`` (``widths`` bits wide, MSB-first) at bit offsets
+    ``starts`` of per-group rows of the (G, block_bits) bit plane."""
+    jj = np.arange(max_width)
+    valid = jj < widths[..., None]
+    shift = np.maximum(widths[..., None] - 1 - jj, 0)
+    bitvals = (values[..., None] >> shift) & 1
+    target = rows[..., None] * bits.shape[1] + starts[..., None] + jj
+    bits.ravel()[target[valid]] = bitvals[valid].astype(np.uint8)
+
+
+def pack_blocks(
+    config,
+    scales: np.ndarray,
+    scale_pos: np.ndarray,
+    pattern_ids: np.ndarray,
+    codebook_ids: np.ndarray,
+    symbols: np.ndarray,
+    corrections: np.ndarray,
+    code_lengths: np.ndarray,
+    code_values: np.ndarray,
+) -> np.ndarray:
+    """Serialize every group at once; rows match :func:`pack_block` exactly.
+
+    ``corrections`` is the dense (G, group_size) outlier matrix (0 = no
+    slot); slots are emitted in ascending position order, the same order
+    the planner found them.
+    """
+    G, group_size = symbols.shape
+    block_bits = config.block_bits
+    header_bits = config.header_bits
+    if header_bits > 64:
+        raise ValueError("header wider than 64 bits; scalar path required")
+    bits = np.zeros((G, block_bits), dtype=np.uint8)
+    rows = np.arange(G, dtype=np.int64)
+
+    out_counts = (corrections != 0).sum(axis=1).astype(np.uint64)
+
+    # Header: one uint64 per group, field-packed then spread MSB-first.
+    header = np.float16(scales).view(np.uint16).astype(np.uint64)
+    header = (header << np.uint64(config.scale_pos_bits)) | scale_pos.astype(
+        np.uint64
+    )
+    header = (header << np.uint64(config.pattern_id_bits)) | pattern_ids.astype(
+        np.uint64
+    )
+    header = (header << np.uint64(config.codebook_id_bits)) | codebook_ids.astype(
+        np.uint64
+    )
+    header = (header << np.uint64(config.outlier_count_bits)) | out_counts
+    hj = np.arange(header_bits)
+    bits[:, :header_bits] = (
+        (header[:, None] >> (header_bits - 1 - hj).astype(np.uint64)) & np.uint64(1)
+    ).astype(np.uint8)
+
+    # Huffman payload: per-value code bits at cumulative offsets.
+    coded = symbols != SCALE_SYMBOL
+    safe = np.where(coded, symbols, 0)
+    cl = code_lengths[codebook_ids].astype(np.int64)  # (G, num_symbols)
+    cv = code_values[codebook_ids].astype(np.int64)
+    val_len = np.take_along_axis(cl, safe, axis=1) * coded
+    val_code = np.take_along_axis(cv, safe, axis=1) * coded
+    starts = header_bits + np.cumsum(val_len, axis=1) - val_len
+    payload_end = header_bits + val_len.sum(axis=1)
+
+    block_end = payload_end + out_counts.astype(np.int64) * config.outlier_bits
+    if np.any(block_end > block_bits):
+        raise OverflowError("block budget exceeded")
+
+    _scatter_bits(
+        bits,
+        val_code,
+        val_len,
+        starts,
+        np.broadcast_to(rows[:, None], (G, group_size)),
+        int(config.max_code_len),
+    )
+
+    # Outlier slots: stable partition brings outlier positions (ascending)
+    # to the front of each row.
+    max_count = int(out_counts.max()) if G else 0
+    if max_count:
+        order = np.argsort(corrections == 0, axis=1, kind="stable")
+        slot_pos = order[:, :max_count].astype(np.int64)
+        slot_q = np.take_along_axis(corrections, order, axis=1)[:, :max_count]
+        slot_valid = np.arange(max_count) < out_counts[:, None].astype(np.int64)
+        w = config.outlier_bits
+        slot_val = (slot_pos << 8) | (slot_q.astype(np.int64) & 0xFF)
+        slot_start = payload_end[:, None] + np.arange(max_count) * w
+        widths = np.where(slot_valid, w, 0)
+        _scatter_bits(
+            bits,
+            slot_val,
+            widths,
+            slot_start,
+            np.broadcast_to(rows[:, None], (G, max_count)),
+            w,
+        )
+
+    return np.packbits(bits, axis=1)
+
+
+def _gather_bits(
+    bits: np.ndarray, starts: np.ndarray, width: int, rows: np.ndarray
+) -> np.ndarray:
+    """Read ``width``-bit MSB-first integers at per-row bit offsets."""
+    window = bits[rows[:, None], starts[:, None] + np.arange(width)]
+    weights = 1 << np.arange(width - 1, -1, -1)
+    return (window.astype(np.int64) * weights).sum(axis=1)
+
+
+#: Below this many blocks the per-group big-integer decode beats the fixed
+#: overhead of the vectorized lockstep loop (the decode-loop steady state
+#: of one new token per read sits far under it).
+_SMALL_DECODE_BLOCKS = 32
+
+
+def _unpack_blocks_small(config, blocks, sym_lists, len_lists):
+    """Scalar twin of the vectorized unpack for small block counts.
+
+    Each block becomes one Python big integer; window extraction is then
+    two shift/mask operations per value, which for a handful of blocks is
+    far cheaper than launching the vectorized machinery.  ``sym_lists`` /
+    ``len_lists`` are the list forms from :func:`window_tables`.
+    """
+    G = blocks.shape[0]
+    total_bits = blocks.shape[1] * 8
+    window_bits = int(config.max_code_len)
+    window_mask = (1 << window_bits) - 1
+    group_size = config.group_size
+
+    scale_u16 = np.empty(G, dtype=np.uint16)
+    scale_pos = np.empty(G, dtype=np.int64)
+    pattern_ids = np.empty(G, dtype=np.int64)
+    codebook_ids = np.empty(G, dtype=np.int64)
+    symbols = np.empty((G, group_size), dtype=np.int64)
+    corrections = np.zeros((G, group_size), dtype=np.int64)
+
+    for g in range(G):
+        big = int.from_bytes(blocks[g].tobytes(), "big")
+        off = 0
+
+        def read(n):
+            nonlocal off
+            value = (big >> (total_bits - off - n)) & ((1 << n) - 1)
+            off += n
+            return value
+
+        scale_u16[g] = read(16)
+        spos = read(config.scale_pos_bits)
+        scale_pos[g] = spos
+        pattern_ids[g] = read(config.pattern_id_bits)
+        cid = read(config.codebook_id_bits)
+        codebook_ids[g] = cid
+        count = read(config.outlier_count_bits)
+        stab = sym_lists[cid]
+        ltab = len_lists[cid]
+        row = symbols[g]
+        for pos in range(group_size):
+            if pos == spos:
+                row[pos] = SCALE_SYMBOL
+                continue
+            avail = total_bits - off
+            if avail >= window_bits:
+                window = (big >> (avail - window_bits)) & window_mask
+            else:
+                window = (big << (window_bits - avail)) & window_mask
+            length = ltab[window]
+            if length == 0:
+                raise ValueError("corrupt block: no canonical code matched")
+            row[pos] = stab[window]
+            off += length
+        for _ in range(count):
+            pos = read(config.scale_pos_bits)
+            q = read(8)
+            corrections[g, pos] = q - 256 if q >= 128 else q
+
+    scales = scale_u16.view(np.float16).astype(np.float32)
+    return scales, scale_pos, pattern_ids, codebook_ids, symbols, corrections
+
+
+def unpack_blocks(
+    config,
+    blocks: np.ndarray,
+    code_lengths: np.ndarray,
+    tables: tuple | None = None,
+):
+    """Deserialize a (G, block_bytes) stack of blocks at once.
+
+    Returns ``(scales, scale_pos, pattern_ids, codebook_ids, symbols,
+    corrections)`` with ``corrections`` as the dense (G, group_size)
+    outlier matrix.  The Huffman stage advances all groups in lockstep —
+    one vectorized window lookup per value position — so the Python-level
+    work is O(group_size), not O(total bits).  Small stacks short-circuit
+    to a per-group big-integer decode with the same tables.
+    """
+    window_bits = int(config.max_code_len)
+    if tables is None:
+        tables = window_tables(code_lengths, window_bits)
+    sym_table, len_table = tables[0], tables[1]
+
+    if blocks.shape[0] <= _SMALL_DECODE_BLOCKS:
+        if len(tables) >= 4:
+            sym_lists, len_lists = tables[2], tables[3]
+        else:  # a bare (sym, len) array pair is still accepted
+            sym_lists, len_lists = sym_table.tolist(), len_table.tolist()
+        return _unpack_blocks_small(
+            config, np.ascontiguousarray(blocks, dtype=np.uint8),
+            sym_lists, len_lists,
+        )
+
+    blocks = np.ascontiguousarray(blocks, dtype=np.uint8)
+    G = blocks.shape[0]
+    bits = np.unpackbits(blocks, axis=1)
+    # Slack so speculative windows past the last code never index OOB.
+    pad = max(window_bits, config.outlier_bits)
+    bits = np.concatenate([bits, np.zeros((G, pad), dtype=np.uint8)], axis=1)
+    rows = np.arange(G, dtype=np.int64)
+
+    header_bits = config.header_bits
+    hj = np.arange(header_bits)
+    header = (
+        bits[:, :header_bits].astype(np.uint64)
+        << (header_bits - 1 - hj).astype(np.uint64)
+    ).sum(axis=1)
+    out_counts = (header & np.uint64(config.max_outliers)).astype(np.int64)
+    header >>= np.uint64(config.outlier_count_bits)
+    codebook_ids = (
+        header & np.uint64((1 << config.codebook_id_bits) - 1)
+    ).astype(np.int64)
+    header >>= np.uint64(config.codebook_id_bits)
+    pattern_ids = (
+        header & np.uint64((1 << config.pattern_id_bits) - 1)
+    ).astype(np.int64)
+    header >>= np.uint64(config.pattern_id_bits)
+    scale_pos = (
+        header & np.uint64((1 << config.scale_pos_bits) - 1)
+    ).astype(np.int64)
+    header >>= np.uint64(config.scale_pos_bits)
+    scales = (
+        (header & np.uint64(0xFFFF))
+        .astype(np.uint16)
+        .view(np.float16)
+        .astype(np.float32)
+    )
+
+    # Huffman payload: every group consumes one code per position, all
+    # groups in lockstep.  All speculative windows are precomputed in one
+    # vectorized sweep (every bit offset's next ``window_bits`` bits as an
+    # integer), so each lockstep iteration is only gathers and adds.
+    weights = 1 << np.arange(window_bits - 1, -1, -1)
+    windows = np.lib.stride_tricks.sliding_window_view(bits, window_bits, axis=1)
+    windows = windows @ weights  # (G, num_offsets)
+    base = rows * windows.shape[1]
+    flat_windows = windows.ravel()
+    flat_syms = sym_table[codebook_ids]  # (G, 2**window_bits)
+    flat_lens = len_table[codebook_ids]
+    offsets = np.full(G, header_bits, dtype=np.int64)
+    symbols = np.empty((G, config.group_size), dtype=np.int64)
+    for pos in range(config.group_size):
+        at_scale = scale_pos == pos
+        window = flat_windows[base + offsets]
+        sym = np.take_along_axis(flat_syms, window[:, None], axis=1)[:, 0]
+        length = np.take_along_axis(flat_lens, window[:, None], axis=1)[:, 0]
+        if np.any((length == 0) & ~at_scale):
+            raise ValueError("corrupt block: no canonical code matched")
+        symbols[:, pos] = np.where(at_scale, SCALE_SYMBOL, sym)
+        offsets += np.where(at_scale, 0, length)
+
+    # Outlier slots.
+    corrections = np.zeros((G, config.group_size), dtype=np.int64)
+    max_count = int(out_counts.max()) if G else 0
+    for k in range(max_count):
+        valid = k < out_counts
+        starts = np.where(valid, offsets + k * config.outlier_bits, 0)
+        slot = _gather_bits(bits, starts, config.outlier_bits, rows)
+        out_pos = slot >> 8
+        out_q = slot & 0xFF
+        out_q = np.where(out_q >= 128, out_q - 256, out_q)
+        vr = np.flatnonzero(valid)
+        corrections[vr, out_pos[vr]] = out_q[vr]
+
+    return scales, scale_pos, pattern_ids, codebook_ids, symbols, corrections
+
+
 def unpack_block(config, data: bytes, code_lengths: np.ndarray, tables=None):
-    """Deserialize one block back into its integer fields.
+    """Deserialize one block back into its integer fields (scalar reference).
 
     ``code_lengths`` has shape (H, num_symbols); Huffman decoding walks the
     canonical code of the block's codebook bit by bit (the software twin of
@@ -134,7 +477,7 @@ def unpack_block(config, data: bytes, code_lengths: np.ndarray, tables=None):
     symbols = np.zeros(config.group_size, dtype=np.int64)
     for pos in range(config.group_size):
         if pos == scale_pos:
-            symbols[pos] = config.pattern_values  # the scale slot
+            symbols[pos] = SCALE_SYMBOL  # the scale slot
             continue
         code = 0
         length = 0

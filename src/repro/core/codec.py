@@ -15,7 +15,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .blocks import decode_tables, pack_block, unpack_block
+from .blocks import (
+    decode_tables as build_decode_tables,
+    pack_blocks,
+    unpack_blocks,
+    window_tables as build_window_tables,
+)
 from .config import WEIGHT_CONFIG, EccoConfig
 from .grouping import normalize_groups, to_groups
 from .patterns import (
@@ -66,6 +71,9 @@ class CompressedTensor:
     pad: int
     clipping_ratio: float
     padding_ratio: float
+    #: Set by the batched token path: the (num_tokens, token_dim) view the
+    #: blocks decode to, before stripping the per-token group padding.
+    token_shape: tuple | None = None
 
     @property
     def num_groups(self) -> int:
@@ -78,7 +86,8 @@ class CompressedTensor:
     @property
     def compression_ratio(self) -> float:
         """Versus the FP16 original (the paper's 4x target)."""
-        original = (int(np.prod(self.shape))) * 2
+        shape = self.token_shape if self.token_shape is not None else self.shape
+        original = (int(np.prod(shape))) * 2
         return original / self.nbytes
 
 
@@ -193,6 +202,38 @@ def plan_encoding(
         bits_used[over] = val_lengths[over].sum(axis=1) + config.header_bits
         clipped[over] += (take & (np.abs(new_syms - cur) > 1)).sum(axis=1)
 
+    # Guaranteed-fit fallback: a group the greedy loop could not shed below
+    # the raw block budget (every symbol already at its codebook's minimum
+    # length, yet still over) would overflow the 64-byte writer.  Force such
+    # groups onto the codebook with the globally shortest codes and map
+    # every value to the nearest of that codebook's minimum-length symbols.
+    over = np.flatnonzero(bits_used > config.block_bits)
+    if over.size:
+        min_len = lengths.min(axis=1)  # (H,)
+        forced_cb = np.where(
+            min_len[codebook_ids[over]] == min_len.min(),
+            codebook_ids[over],
+            int(np.argmin(min_len)),
+        )
+        cb = lengths[forced_cb]  # (n, num_symbols)
+        is_min = cb == cb.min(axis=1, keepdims=True)
+        cost = np.where(is_min[:, None, :], dist2[over], np.inf)
+        forced = np.argmin(cost, axis=2)
+        cur = safe_syms[over]
+        codebook_ids[over] = forced_cb
+        symbols[over] = np.where(coded_mask[over], forced, symbols[over])
+        safe_syms[over] = np.where(coded_mask[over], symbols[over], 0)
+        val_lengths[over] = np.take_along_axis(
+            lengths[codebook_ids[over]], safe_syms[over], axis=1
+        ) * coded_mask[over]
+        bits_used[over] = val_lengths[over].sum(axis=1) + config.header_bits
+        clipped[over] += ((np.abs(forced - cur) > 1) & coded_mask[over]).sum(axis=1)
+        if np.any(bits_used[over] > config.block_bits):
+            raise ValueError(
+                "group cannot fit its block: even the shortest codes of "
+                "every codebook overflow the 64-byte budget"
+            )
+
     # Reconstruction (normalized domain) from the final symbols.
     recon_norm = meta.patterns[pattern_ids[:, None], safe_syms]
     recon_norm = np.where(coded_mask, recon_norm, 0.0).astype(np.float32)
@@ -277,34 +318,53 @@ def simulate_roundtrip(
 
 
 class EccoTensorCodec:
-    """Bit-exact block codec for one tensor's shared metadata."""
+    """Bit-exact block codec for one tensor's shared metadata.
+
+    The Huffman decode tables are derived from the metadata once, lazily,
+    and cached on the codec instance — never rebuilt per ``decode`` call.
+    """
 
     def __init__(self, meta: TensorMeta):
         self.meta = meta
+        self._decode_tables: list | None = None
+        self._window_tables: tuple | None = None
+
+    @property
+    def decode_tables(self) -> list:
+        """(length, code) -> symbol dict per codebook (scalar reference)."""
+        if self._decode_tables is None:
+            self._decode_tables = build_decode_tables(self.meta.codebook_lengths)
+        return self._decode_tables
+
+    @property
+    def window_tables(self) -> tuple:
+        """Speculative-window decode tables for the vectorized path."""
+        if self._window_tables is None:
+            self._window_tables = build_window_tables(
+                self.meta.codebook_lengths, int(self.meta.config.max_code_len)
+            )
+        return self._window_tables
 
     def encode(
         self, tensor: np.ndarray, act_weights: np.ndarray | None = None
     ) -> CompressedTensor:
+        plan = plan_encoding(self.meta, tensor, act_weights=act_weights)
+        return self.encode_plan(plan)
+
+    def encode_plan(self, plan: EncodingPlan) -> CompressedTensor:
+        """Serialize an already-planned tensor (all groups at once)."""
         meta = self.meta
-        config = meta.config
-        plan = plan_encoding(meta, tensor, act_weights=act_weights)
-        blocks = np.zeros((plan.num_groups, config.block_bytes), dtype=np.uint8)
-        for g in range(plan.num_groups):
-            out_pos = np.flatnonzero(plan.corrections[g])
-            out_q = plan.corrections[g, out_pos]
-            data = pack_block(
-                config,
-                plan.scales[g],
-                int(plan.scale_pos[g]),
-                int(plan.pattern_ids[g]),
-                int(plan.codebook_ids[g]),
-                plan.symbols[g],
-                meta.codebook_lengths[plan.codebook_ids[g]],
-                meta.codebook_codes[plan.codebook_ids[g]],
-                out_pos,
-                out_q,
-            )
-            blocks[g] = np.frombuffer(data, dtype=np.uint8)
+        blocks = pack_blocks(
+            meta.config,
+            plan.scales,
+            plan.scale_pos,
+            plan.pattern_ids,
+            plan.codebook_ids,
+            plan.symbols,
+            plan.corrections,
+            meta.codebook_lengths,
+            meta.codebook_codes,
+        )
         size = float(np.prod(plan.shape))
         return CompressedTensor(
             blocks=blocks,
@@ -314,33 +374,23 @@ class EccoTensorCodec:
             padding_ratio=float(plan.padded_outliers.sum()) / size,
         )
 
-    def decode(self, compressed: CompressedTensor) -> np.ndarray:
+    def plan_from_blocks(
+        self, blocks: np.ndarray, shape: tuple, pad: int
+    ) -> EncodingPlan:
+        """Deserialize a block stack back into an :class:`EncodingPlan`."""
         meta = self.meta
-        config = meta.config
-        G = compressed.num_groups
-        scales = np.zeros(G, dtype=np.float32)
-        scale_pos = np.zeros(G, dtype=np.int64)
-        pattern_ids = np.zeros(G, dtype=np.int64)
-        codebook_ids = np.zeros(G, dtype=np.int64)
-        symbols = np.zeros((G, config.group_size), dtype=np.int64)
-        corrections = np.zeros((G, config.group_size), dtype=np.int64)
-        tables = decode_tables(meta.codebook_lengths)
-        for g in range(G):
-            (scale, pos, pid, cid, syms, out_pos, out_q) = unpack_block(
-                config,
-                compressed.blocks[g].tobytes(),
+        G = int(blocks.shape[0])
+        (scales, scale_pos, pattern_ids, codebook_ids, symbols, corrections) = (
+            unpack_blocks(
+                meta.config,
+                blocks,
                 meta.codebook_lengths,
-                tables=tables,
+                tables=self.window_tables,
             )
-            scales[g] = scale
-            scale_pos[g] = pos
-            pattern_ids[g] = pid
-            codebook_ids[g] = cid
-            symbols[g] = syms
-            corrections[g, out_pos] = out_q
-        plan = EncodingPlan(
-            shape=compressed.shape,
-            pad=compressed.pad,
+        )
+        return EncodingPlan(
+            shape=shape,
+            pad=pad,
             scales=scales,
             scale_pos=scale_pos,
             pattern_ids=pattern_ids,
@@ -350,7 +400,12 @@ class EccoTensorCodec:
             clipped_symbols=np.zeros(G, dtype=np.int64),
             padded_outliers=np.zeros(G, dtype=np.int64),
         )
-        return reconstruct(meta, plan)
+
+    def decode(self, compressed: CompressedTensor) -> np.ndarray:
+        plan = self.plan_from_blocks(
+            compressed.blocks, compressed.shape, compressed.pad
+        )
+        return reconstruct(self.meta, plan)
 
     def roundtrip(
         self, tensor: np.ndarray, act_weights: np.ndarray | None = None

@@ -4,13 +4,19 @@
 library; ``KVCacheStream`` is the per-(layer, head) cache that compresses
 every generated token's key and value vectors as they are appended and
 serves decompressed reads back to attention.
+
+The decode loop is amortized O(new tokens): each compressed segment is
+decoded exactly once into a decoded-segment cache, and attention reads
+only concatenate already-decoded tokens with whatever arrived since the
+last read.  ``invalidate_decoded`` is the hook a future eviction pass uses
+to drop stale decoded state after rewriting segments.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .codec import CompressedTensor, EccoTensorCodec
+from .codec import CompressedTensor, EccoTensorCodec, plan_encoding, reconstruct
 from .patterns import TensorMeta
 
 __all__ = ["KVCacheCodec", "KVCacheStream"]
@@ -27,31 +33,132 @@ class KVCacheCodec(EccoTensorCodec):
             )
         super().__init__(meta)
 
+    def _pad_tokens(self, vectors: np.ndarray) -> np.ndarray:
+        """Zero-pad each token row to a whole number of groups.
+
+        Per-token padding (rather than padding the flattened batch once)
+        keeps every token's group boundaries — and therefore its packed
+        blocks — identical to what the one-token-at-a-time path produces.
+        """
+        group_size = self.meta.config.group_size
+        pad = (-vectors.shape[1]) % group_size
+        if not pad:
+            return vectors
+        return np.concatenate(
+            [vectors, np.zeros((vectors.shape[0], pad), dtype=vectors.dtype)],
+            axis=1,
+        )
+
     def encode_token(self, vector: np.ndarray) -> CompressedTensor:
         """Compress one token's K or V vector (padded to whole groups)."""
-        return self.encode(np.asarray(vector, dtype=np.float32).ravel())
+        return self.encode_tokens(
+            np.asarray(vector, dtype=np.float32).reshape(1, -1)
+        )
+
+    def encode_tokens(self, vectors: np.ndarray) -> CompressedTensor:
+        """Compress a (num_tokens, dim) batch in one planning pass.
+
+        All tokens' groups go through a single :func:`plan_encoding` call
+        and one vectorized pack, instead of one Python iteration per
+        token; the emitted blocks are byte-identical to per-token encodes.
+        """
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.ndim == 1:
+            vectors = vectors.reshape(1, -1)
+        num_tokens, dim = vectors.shape
+        padded = self._pad_tokens(vectors)
+        plan = plan_encoding(self.meta, padded)
+        compressed = self.encode_plan(plan)
+        compressed.token_shape = (num_tokens, dim)
+        return compressed
+
+    def decode_tokens(self, compressed: CompressedTensor) -> np.ndarray:
+        """Decode a batched-token segment back to (num_tokens, dim)."""
+        if compressed.token_shape is None:
+            raise ValueError("not a token segment; use decode()")
+        values = self.decode(compressed)
+        num_tokens, dim = compressed.token_shape
+        return values.reshape(num_tokens, -1)[:, :dim]
+
+    def decode_all(self, segments: list[CompressedTensor]) -> np.ndarray:
+        """Decode many token segments with one vectorized unpack.
+
+        Stacks every segment's blocks and runs a single
+        :meth:`plan_from_blocks` + reconstruction over all of them, so the
+        per-call overhead is paid once regardless of segment count.
+        """
+        if not segments:
+            return np.zeros((0, 0), dtype=np.float32)
+        dims = {c.token_shape[1] for c in segments if c.token_shape is not None}
+        if len(dims) != 1 or any(c.token_shape is None for c in segments):
+            raise ValueError("segments must be token batches of one dim")
+        (dim,) = dims
+        blocks = (
+            segments[0].blocks
+            if len(segments) == 1
+            else np.concatenate([c.blocks for c in segments], axis=0)
+        )
+        group_size = self.meta.config.group_size
+        num_tokens = sum(c.token_shape[0] for c in segments)
+        padded_dim = blocks.shape[0] * group_size // num_tokens
+        plan = self.plan_from_blocks(blocks, (num_tokens, padded_dim), 0)
+        return reconstruct(self.meta, plan)[:, :dim]
 
 
 class KVCacheStream:
-    """An append-only compressed KV cache for one attention head group."""
+    """An append-only compressed KV cache for one attention head group.
+
+    Reads return (num_tokens, dim) arrays — the shape attention consumes.
+    Decoded segments are cached: ``read_keys``/``read_values`` decode only
+    segments appended since the previous read, so a T-step decode loop
+    performs O(T) total block decodes instead of O(T^2).  The
+    ``decoded_tokens`` counters expose exactly how much decode work was
+    done, and ``invalidate_decoded`` drops the cache (the hook eviction or
+    segment-rewriting passes must call).
+    """
 
     def __init__(self, key_codec: KVCacheCodec, value_codec: KVCacheCodec):
         self.key_codec = key_codec
         self.value_codec = value_codec
-        self._keys: list[CompressedTensor] = []
-        self._values: list[CompressedTensor] = []
+        self._key_segments: list[CompressedTensor] = []
+        self._value_segments: list[CompressedTensor] = []
+        self._key_cache: np.ndarray | None = None
+        self._value_cache: np.ndarray | None = None
+        self._key_cached_segments = 0
+        self._value_cached_segments = 0
+        #: Tokens actually run through block decode, per side (the decode
+        #: work counter the O(new tokens) guarantee is tested against).
+        self.decoded_tokens = {"keys": 0, "values": 0}
+        self._num_tokens = 0
         self.original_nbytes = 0
         self.compressed_nbytes = 0
 
     def __len__(self) -> int:
-        return len(self._keys)
+        return self._num_tokens
 
     def append(self, key: np.ndarray, value: np.ndarray) -> None:
-        ck = self.key_codec.encode_token(key)
-        cv = self.value_codec.encode_token(value)
-        self._keys.append(ck)
-        self._values.append(cv)
-        self.original_nbytes += (np.asarray(key).size + np.asarray(value).size) * 2
+        """Append one token's K and V vectors."""
+        self.append_tokens(
+            np.asarray(key, dtype=np.float32).reshape(1, -1),
+            np.asarray(value, dtype=np.float32).reshape(1, -1),
+        )
+
+    def append_tokens(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Append a (num_tokens, dim) batch of K and V vectors at once."""
+        keys = np.asarray(keys, dtype=np.float32)
+        values = np.asarray(values, dtype=np.float32)
+        if keys.ndim == 1:
+            keys = keys.reshape(1, -1)
+        if values.ndim == 1:
+            values = values.reshape(1, -1)
+        if keys.shape[0] != values.shape[0]:
+            raise ValueError("keys and values must cover the same tokens")
+        ck = self.key_codec.encode_tokens(keys)
+        cv = self.value_codec.encode_tokens(values)
+        self._key_segments.append(ck)
+        self._value_segments.append(cv)
+        self._num_tokens += keys.shape[0]
+        self.original_nbytes += (keys.size + values.size) * 2
         self.compressed_nbytes += ck.nbytes + cv.nbytes
 
     @property
@@ -60,17 +167,65 @@ class KVCacheStream:
             return 1.0
         return self.original_nbytes / self.compressed_nbytes
 
+    def _refresh(
+        self,
+        codec: KVCacheCodec,
+        segments: list[CompressedTensor],
+        cache: np.ndarray | None,
+        cached_segments: int,
+        counter: str,
+    ) -> tuple[np.ndarray | None, int]:
+        fresh = segments[cached_segments:]
+        if fresh:
+            decoded = codec.decode_all(fresh).astype(np.float32)
+            self.decoded_tokens[counter] += decoded.shape[0]
+            cache = (
+                decoded
+                if cache is None
+                else np.concatenate([cache, decoded], axis=0)
+            )
+            cache.flags.writeable = False
+        return cache, len(segments)
+
     def read_keys(self) -> np.ndarray:
-        """Decompress the whole key cache (what attention reads)."""
-        if not self._keys:
-            return np.zeros(0, dtype=np.float32)
-        return np.concatenate(
-            [self.key_codec.decode(c).ravel() for c in self._keys]
+        """The decoded (num_tokens, dim) key cache attention reads.
+
+        Only tokens appended since the last read are decoded; the rest
+        come from the decoded-segment cache.  The returned array is
+        read-only (it is the cache itself, not a copy).
+        """
+        self._key_cache, self._key_cached_segments = self._refresh(
+            self.key_codec,
+            self._key_segments,
+            self._key_cache,
+            self._key_cached_segments,
+            "keys",
         )
+        if self._key_cache is None:
+            return np.zeros((0, 0), dtype=np.float32)
+        return self._key_cache
 
     def read_values(self) -> np.ndarray:
-        if not self._values:
-            return np.zeros(0, dtype=np.float32)
-        return np.concatenate(
-            [self.value_codec.decode(c).ravel() for c in self._values]
+        """The decoded (num_tokens, dim) value cache attention reads."""
+        self._value_cache, self._value_cached_segments = self._refresh(
+            self.value_codec,
+            self._value_segments,
+            self._value_cache,
+            self._value_cached_segments,
+            "values",
         )
+        if self._value_cache is None:
+            return np.zeros((0, 0), dtype=np.float32)
+        return self._value_cache
+
+    def invalidate_decoded(self) -> None:
+        """Drop all cached decoded state (the eviction/rewrite hook).
+
+        The compressed segments are untouched; the next read re-decodes
+        everything.  Any pass that rewrites or evicts segments must call
+        this so reads never serve stale decodes.
+        """
+        self._key_cache = None
+        self._value_cache = None
+        self._key_cached_segments = 0
+        self._value_cached_segments = 0

@@ -7,6 +7,7 @@ from .eval import multiple_choice_accuracy, perplexity
 from .model import Param, ProxyModel
 from .quantize import (
     NAMED_SCHEMES,
+    EccoStreamKVQuant,
     QuantizedModel,
     apply_named_scheme,
     quantize_model,
@@ -16,6 +17,7 @@ from .train import TrainedModel, get_trained_model, train_proxy
 __all__ = [
     "ActStats",
     "CalibrationData",
+    "EccoStreamKVQuant",
     "MCItem",
     "ModelSpec",
     "NAMED_SCHEMES",

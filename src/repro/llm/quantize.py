@@ -16,6 +16,7 @@ import numpy as np
 from repro.core import (
     ActivationCodec,
     KV_CONFIG,
+    KVCacheCodec,
     WEIGHT_CONFIG,
     EccoConfig,
     fit_tensor_meta,
@@ -27,7 +28,7 @@ from .calibration import CalibrationData
 from .model import ProxyModel
 
 __all__ = ["QuantizedModel", "quantize_model", "apply_named_scheme",
-           "NAMED_SCHEMES"]
+           "NAMED_SCHEMES", "EccoStreamKVQuant"]
 
 _CALIB_GROUPS = 384
 
@@ -181,6 +182,43 @@ def _quarot_kv_quant(rot_cache: dict, bits: int = 4):
     return fn
 
 
+class EccoStreamKVQuant:
+    """Bit-exact streaming Ecco KV hook: the decode-loop pipeline in eval.
+
+    Unlike :func:`_ecco_kv_quant` (which simulates the roundtrip with the
+    vectorized fast path), this hook pushes every layer's K/V tensor
+    through the real block codec — one batched ``encode_tokens`` planning
+    pass and one vectorized ``decode_tokens`` per call — and keeps the
+    per-tensor codec (with its cached decode tables) across calls.  The
+    ``stats`` dict it maintains feeds ``kv_stats`` in the eval functions.
+    """
+
+    def __init__(self, calib: CalibrationData):
+        self._calib = calib
+        self._codecs: dict[str, KVCacheCodec] = {}
+        self.stats = {"tokens": 0, "original_nbytes": 0, "compressed_nbytes": 0}
+
+    def _codec(self, name: str, kv: np.ndarray) -> KVCacheCodec:
+        codec = self._codecs.get(name)
+        if codec is None:
+            sample = self._calib.kv_samples.get(name, kv)
+            meta = fit_tensor_meta(
+                sample, config=KV_CONFIG, max_calibration_groups=_CALIB_GROUPS
+            )
+            codec = KVCacheCodec(meta)
+            self._codecs[name] = codec
+        return codec
+
+    def __call__(self, name: str, kv: np.ndarray) -> np.ndarray:
+        codec = self._codec(name, kv)
+        compressed = codec.encode_tokens(kv)
+        out = codec.decode_tokens(compressed)
+        self.stats["tokens"] += int(kv.shape[0])
+        self.stats["original_nbytes"] += int(kv.size) * 2
+        self.stats["compressed_nbytes"] += int(compressed.nbytes)
+        return out.astype(np.float32)
+
+
 def _ecco_kv_quant(calib: CalibrationData):
     """Online Ecco KV compression: per-tensor metadata from calibration,
     min/max pattern selection at runtime (the hardware path)."""
@@ -247,6 +285,8 @@ def _build_hooks(act_bits, kv_method, calib: CalibrationData) -> tuple:
         kv_quant = _quarot_kv_quant({})
     elif kv_method == "ecco":
         kv_quant = _ecco_kv_quant(calib)
+    elif kv_method == "ecco-stream":
+        kv_quant = EccoStreamKVQuant(calib)
     elif kv_method is None:
         kv_quant = None
     else:
@@ -282,6 +322,10 @@ NAMED_SCHEMES = {
     "quarot-w4a8kv4": ("quarot", 8, "quarot"),
     "qoq-w4a8kv4": ("qoq", 8, "rtn"),
     "ecco-w4a8kv4": ("ecco", "ecco", "ecco"),
+    # Same accuracy point as ecco-w4a8kv4, but the KV path runs the real
+    # block codec (batched encode + cached-table decode), not the fast-path
+    # simulation — use it to validate the streaming pipeline end to end.
+    "ecco-stream-w4a8kv4": ("ecco", "ecco", "ecco-stream"),
     "atom-w4a4": ("atom", 4, "rtn"),
 }
 
