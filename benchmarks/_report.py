@@ -12,7 +12,20 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-__all__ = ["results_dir", "write_report", "load_cached", "store_cached"]
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "results_dir",
+    "write_report",
+    "load_cached",
+    "store_cached",
+]
+
+#: Version stamp written into every cache entry.  Bump it whenever the
+#: codec or the cached payload shapes change: ``load_cached`` treats an
+#: entry from any other schema (including legacy unstamped entries) as
+#: absent, so a stale cache forces a recompute instead of silently
+#: serving numbers from a different codec.
+CACHE_SCHEMA_VERSION = 1
 
 
 def results_dir() -> Path:
@@ -36,15 +49,29 @@ def write_report(name: str, lines: list[str], data: dict | None = None) -> Path:
 
 
 def load_cached(tag: str) -> dict | None:
-    """Load a cached experiment result, or None when absent."""
+    """Load a cached experiment result, or None when absent or stale.
+
+    Stale means unreadable, unstamped (written before cache entries
+    carried a schema), or stamped with a different
+    :data:`CACHE_SCHEMA_VERSION` — all of which mean the numbers may
+    predate a codec change and must be recomputed, not served.
+    """
     path = results_dir() / "cache" / f"{tag}.json"
     if not path.exists():
         return None
-    return json.loads(path.read_text())
+    try:
+        blob = json.loads(path.read_text())
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(blob, dict) or blob.get("schema") != CACHE_SCHEMA_VERSION:
+        return None
+    return blob.get("data")
 
 
 def store_cached(tag: str, data: dict) -> None:
-    """Persist an experiment result for future bench runs."""
+    """Persist an experiment result (schema-stamped) for future runs."""
     path = results_dir() / "cache" / f"{tag}.json"
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(data, indent=2))
+    path.write_text(
+        json.dumps({"schema": CACHE_SCHEMA_VERSION, "data": data}, indent=2)
+    )

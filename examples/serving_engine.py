@@ -1,0 +1,96 @@
+"""Multi-tenant serving over the paged compressed-KV pool.
+
+Spins up the continuous-batching engine twice — once with the fp16 KV
+pool, once with the Ecco-compressed pool — on the same byte budget and
+the same trace of requests sharing a common system prompt, then compares
+what the two pools could admit and move.  The compressed pool holds ~3x
+the tokens per byte here (d_model=64 pads each 128-value group to half
+occupancy; real head dims reach 4x), so the same budget serves more
+tenants at once: fewer scheduler rounds, fuller batches, less KV read
+traffic, and preemption victims that swap out in a quarter of the bytes.
+
+Run with:  python examples/serving_engine.py
+"""
+
+import numpy as np
+
+from repro.llm import calibrate, get_trained_model
+from repro.serve import ServingEngine
+
+BYTE_BUDGET = 24_000
+NUM_REQUESTS = 8
+SHARED_PREFIX = 8
+UNIQUE_SUFFIX = 10
+MAX_NEW_TOKENS = 12
+
+
+def main() -> None:
+    trained = get_trained_model("proxy-small")
+    model, spec = trained.model, trained.spec
+    calib_tokens = trained.generator.batches(8 * 33 + 33, 8, 32, seed=5)[0]
+    calib = calibrate(model, calib_tokens)
+
+    rng = np.random.default_rng(11)
+    shared = rng.integers(0, spec.vocab_size, size=SHARED_PREFIX)
+    prompts = [
+        np.concatenate(
+            [shared, rng.integers(0, spec.vocab_size, size=UNIQUE_SUFFIX)]
+        )
+        for _ in range(NUM_REQUESTS)
+    ]
+
+    print(f"model: {spec.name} ({spec.num_layers} layers, d={spec.d_model})")
+    print(f"trace: {NUM_REQUESTS} requests, prompt {SHARED_PREFIX}+"
+          f"{UNIQUE_SUFFIX} tokens ({SHARED_PREFIX} shared), "
+          f"{MAX_NEW_TOKENS} new tokens each")
+    print(f"KV pool budget: {BYTE_BUDGET / 1024:.0f} KiB\n")
+
+    reports = {}
+    for storage in ("fp16", "ecco"):
+        engine = ServingEngine(
+            model,
+            calib,
+            storage=storage,
+            byte_budget=BYTE_BUDGET,
+            page_tokens=8,
+            max_batch_size=8,
+            watermark=0.1,
+        )
+        for prompt in prompts:
+            engine.submit(prompt, max_new_tokens=MAX_NEW_TOKENS)
+        reports[storage] = engine.run()
+
+    fp16, ecco = reports["fp16"], reports["ecco"]
+    rows = [
+        ("KV bytes/token", "{per_token_nbytes} B"),
+        ("peak concurrent requests", "{peak_concurrency}"),
+        ("decode steps to drain", "{decode_steps}"),
+        ("mean batch occupancy", "{mean_batch_occupancy:.2f}"),
+        ("preemptions", "{preemptions}"),
+        ("TTFT mean (s)", "{ttft_s_mean:.4f}"),
+        ("tokens generated", "{tokens_generated}"),
+    ]
+    print(f"{'':32s}{'fp16 pool':>14s}{'ecco pool':>14s}")
+    for label, fmt in rows:
+        print(f"{label:32s}{fmt.format(**fp16):>14s}{fmt.format(**ecco):>14s}")
+    for label, key in [
+        ("modeled KV read traffic", "modeled_kv_read_bytes"),
+        ("swap-out traffic", None),
+    ]:
+        if key is None:
+            a = fp16["pool"]["swap_out_bytes"]
+            b = ecco["pool"]["swap_out_bytes"]
+        else:
+            a, b = fp16[key], ecco[key]
+        print(f"{label:32s}{a / 1024:>11.1f} KiB{b / 1024:>11.1f} KiB")
+    saved = ecco["pool"]["shared_bytes_saved"]
+    print(f"\nprefix sharing saved {saved / 1024:.1f} KiB of encodes in the "
+          f"ecco pool ({ecco['pool']['pages_shared']} page shares, "
+          f"{ecco['pool']['prefix_cache_hits']} prefix-cache hits)")
+    print(f"concurrency: {ecco['peak_concurrency']} vs "
+          f"{fp16['peak_concurrency']} requests resident at the same budget "
+          f"({ecco['peak_concurrency'] / fp16['peak_concurrency']:.1f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,7 +11,7 @@ from .codec import (
 )
 from .config import ACT_CONFIG, KV_CONFIG, WEIGHT_CONFIG, EccoConfig
 from .grouping import NormalizedGroups, normalize_groups, tensor_exponent, to_groups
-from .kv import KVCacheCodec, KVCacheStream
+from .kv import KVCacheCodec, KVCacheStream, merge_token_segments
 from .patterns import (
     SCALE_SYMBOL,
     TensorMeta,
@@ -38,6 +38,7 @@ __all__ = [
     "calibrate_kv_meta",
     "compress_weight",
     "fit_tensor_meta",
+    "merge_token_segments",
     "normalize_groups",
     "plan_encoding",
     "select_patterns_minmax",

@@ -19,7 +19,46 @@ import numpy as np
 from .codec import CompressedTensor, EccoTensorCodec, plan_encoding, reconstruct
 from .patterns import TensorMeta
 
-__all__ = ["KVCacheCodec", "KVCacheStream"]
+__all__ = ["KVCacheCodec", "KVCacheStream", "merge_token_segments"]
+
+
+def merge_token_segments(segments: list[CompressedTensor]) -> CompressedTensor:
+    """Concatenate token segments into one segment, bit for bit.
+
+    Per-token group padding makes a multi-token segment's block stack the
+    exact concatenation of its tokens' blocks, so merging is pure
+    bookkeeping: no decode, no re-encode, and the merged segment decodes
+    to the same values as the parts.  This is what turns a run of
+    one-token decode appends into a page-granular segment.
+    """
+    if not segments:
+        raise ValueError("no segments to merge")
+    shapes = {c.token_shape for c in segments if c.token_shape is not None}
+    if any(c.token_shape is None for c in segments):
+        raise ValueError("segments must be token batches (token_shape set)")
+    dims = {shape[1] for shape in shapes}
+    padded_dims = {c.shape[1] for c in segments}
+    if len(dims) != 1 or len(padded_dims) != 1:
+        raise ValueError("segments must share one token dim")
+    if len(segments) == 1:
+        return segments[0]
+    (dim,) = dims
+    (padded_dim,) = padded_dims
+    num_tokens = sum(c.token_shape[0] for c in segments)
+    sizes = np.array([float(np.prod(c.shape)) for c in segments])
+    total = float(sizes.sum())
+    return CompressedTensor(
+        blocks=np.concatenate([c.blocks for c in segments], axis=0),
+        shape=(num_tokens, padded_dim),
+        pad=0,
+        clipping_ratio=float(
+            sum(c.clipping_ratio * s for c, s in zip(segments, sizes)) / total
+        ),
+        padding_ratio=float(
+            sum(c.padding_ratio * s for c, s in zip(segments, sizes)) / total
+        ),
+        token_shape=(num_tokens, dim),
+    )
 
 
 class KVCacheCodec(EccoTensorCodec):
@@ -120,12 +159,16 @@ class KVCacheStream:
     def __init__(self, key_codec: KVCacheCodec, value_codec: KVCacheCodec):
         self.key_codec = key_codec
         self.value_codec = value_codec
-        self._key_segments: list[CompressedTensor] = []
-        self._value_segments: list[CompressedTensor] = []
-        self._key_cache: np.ndarray | None = None
-        self._value_cache: np.ndarray | None = None
-        self._key_cached_segments = 0
-        self._value_cached_segments = 0
+        self._segments: dict[str, list[CompressedTensor]] = {
+            "keys": [], "values": []
+        }
+        self._cache: dict[str, np.ndarray | None] = {
+            "keys": None, "values": None
+        }
+        #: Decoded-cache coverage in tokens, per side.  Always sits on a
+        #: segment boundary of the current segment list (reads decode whole
+        #: segments; invalidation rounds down to a boundary).
+        self._cached_tokens = {"keys": 0, "values": 0}
         #: Tokens actually run through block decode, per side (the decode
         #: work counter the O(new tokens) guarantee is tested against).
         self.decoded_tokens = {"keys": 0, "values": 0}
@@ -135,6 +178,24 @@ class KVCacheStream:
 
     def __len__(self) -> int:
         return self._num_tokens
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._segments["keys"])
+
+    @staticmethod
+    def _prefix_index(
+        segments: list[CompressedTensor], token_limit: int
+    ) -> tuple[int, int]:
+        """(index, tokens) of the longest segment prefix of <= token_limit
+        tokens — the boundary a mid-segment position rounds down to."""
+        covered = 0
+        for idx, segment in enumerate(segments):
+            tokens = segment.token_shape[0]
+            if covered + tokens > token_limit:
+                return idx, covered
+            covered += tokens
+        return len(segments), covered
 
     def append(self, key: np.ndarray, value: np.ndarray) -> None:
         """Append one token's K and V vectors."""
@@ -152,14 +213,38 @@ class KVCacheStream:
         if values.ndim == 1:
             values = values.reshape(1, -1)
         if keys.shape[0] != values.shape[0]:
-            raise ValueError("keys and values must cover the same tokens")
+            raise ValueError(
+                f"keys and values must cover the same tokens: got "
+                f"{keys.shape[0]} key tokens but {values.shape[0]} value tokens"
+            )
         ck = self.key_codec.encode_tokens(keys)
         cv = self.value_codec.encode_tokens(values)
-        self._key_segments.append(ck)
-        self._value_segments.append(cv)
-        self._num_tokens += keys.shape[0]
-        self.original_nbytes += (keys.size + values.size) * 2
-        self.compressed_nbytes += ck.nbytes + cv.nbytes
+        self.append_compressed(ck, cv)
+
+    def append_compressed(
+        self, key_segment: CompressedTensor, value_segment: CompressedTensor
+    ) -> None:
+        """Append pre-encoded K and V token segments (no re-encode).
+
+        This is the page-sharing path: a segment encoded once for one
+        stream (e.g. a shared prompt page) is appended by reference to
+        every other stream that covers the same tokens.
+        """
+        if key_segment.token_shape is None or value_segment.token_shape is None:
+            raise ValueError("segments must be token batches (token_shape set)")
+        kt, vt = key_segment.token_shape[0], value_segment.token_shape[0]
+        if kt != vt:
+            raise ValueError(
+                f"keys and values must cover the same tokens: got "
+                f"{kt} key tokens but {vt} value tokens"
+            )
+        self._segments["keys"].append(key_segment)
+        self._segments["values"].append(value_segment)
+        self._num_tokens += kt
+        self.original_nbytes += (
+            kt * key_segment.token_shape[1] + vt * value_segment.token_shape[1]
+        ) * 2
+        self.compressed_nbytes += key_segment.nbytes + value_segment.nbytes
 
     @property
     def compression_ratio(self) -> float:
@@ -167,25 +252,36 @@ class KVCacheStream:
             return 1.0
         return self.original_nbytes / self.compressed_nbytes
 
-    def _refresh(
-        self,
-        codec: KVCacheCodec,
-        segments: list[CompressedTensor],
-        cache: np.ndarray | None,
-        cached_segments: int,
-        counter: str,
-    ) -> tuple[np.ndarray | None, int]:
-        fresh = segments[cached_segments:]
+    def _refresh(self, side: str, codec: KVCacheCodec) -> np.ndarray | None:
+        segments = self._segments[side]
+        idx, covered = self._prefix_index(segments, self._cached_tokens[side])
+        if covered < self._cached_tokens[side]:
+            # Defensive: a rewrite left the boundary mid-segment; roll the
+            # cache back to the last whole-segment boundary.
+            self._truncate_cache(side, covered)
+        fresh = segments[idx:]
         if fresh:
             decoded = codec.decode_all(fresh).astype(np.float32)
-            self.decoded_tokens[counter] += decoded.shape[0]
+            self.decoded_tokens[side] += decoded.shape[0]
+            cache = self._cache[side]
             cache = (
                 decoded
                 if cache is None
                 else np.concatenate([cache, decoded], axis=0)
             )
             cache.flags.writeable = False
-        return cache, len(segments)
+            self._cache[side] = cache
+            self._cached_tokens[side] = covered + sum(
+                c.token_shape[0] for c in fresh
+            )
+        return self._cache[side]
+
+    def _truncate_cache(self, side: str, tokens: int) -> None:
+        if self._cached_tokens[side] <= tokens:
+            return
+        cache = self._cache[side]
+        self._cache[side] = cache[:tokens] if tokens else None
+        self._cached_tokens[side] = tokens
 
     def read_keys(self) -> np.ndarray:
         """The decoded (num_tokens, dim) key cache attention reads.
@@ -194,38 +290,64 @@ class KVCacheStream:
         come from the decoded-segment cache.  The returned array is
         read-only (it is the cache itself, not a copy).
         """
-        self._key_cache, self._key_cached_segments = self._refresh(
-            self.key_codec,
-            self._key_segments,
-            self._key_cache,
-            self._key_cached_segments,
-            "keys",
-        )
-        if self._key_cache is None:
+        cache = self._refresh("keys", self.key_codec)
+        if cache is None:
             return np.zeros((0, 0), dtype=np.float32)
-        return self._key_cache
+        return cache
 
     def read_values(self) -> np.ndarray:
         """The decoded (num_tokens, dim) value cache attention reads."""
-        self._value_cache, self._value_cached_segments = self._refresh(
-            self.value_codec,
-            self._value_segments,
-            self._value_cache,
-            self._value_cached_segments,
-            "values",
-        )
-        if self._value_cache is None:
+        cache = self._refresh("values", self.value_codec)
+        if cache is None:
             return np.zeros((0, 0), dtype=np.float32)
-        return self._value_cache
+        return cache
 
-    def invalidate_decoded(self) -> None:
-        """Drop all cached decoded state (the eviction/rewrite hook).
+    def invalidate_decoded(self, from_token: int | None = None) -> None:
+        """Drop cached decoded state from ``from_token`` onward.
 
-        The compressed segments are untouched; the next read re-decodes
-        everything.  Any pass that rewrites or evicts segments must call
-        this so reads never serve stale decodes.
+        With no argument everything is dropped (the blunt eviction hook:
+        the next read re-decodes the whole stream).  With ``from_token``
+        only the tail is dropped — the hook page-granular eviction and
+        segment rewrites use so they do not throw away the decoded prefix.
+        ``from_token`` rounds *down* to a segment boundary (decode is
+        segment-granular), so at most one extra segment is re-decoded.
+        The compressed segments are untouched either way.
         """
-        self._key_cache = None
-        self._value_cache = None
-        self._key_cached_segments = 0
-        self._value_cached_segments = 0
+        if from_token is None or from_token <= 0:
+            for side in ("keys", "values"):
+                self._cache[side] = None
+                self._cached_tokens[side] = 0
+            return
+        for side in ("keys", "values"):
+            _, covered = self._prefix_index(self._segments[side], from_token)
+            self._truncate_cache(side, covered)
+
+    def coalesce(
+        self, from_token: int
+    ) -> tuple[CompressedTensor, CompressedTensor]:
+        """Merge every segment from ``from_token`` to the end into one
+        page-granular segment per side; returns the (key, value) pair.
+
+        ``from_token`` must lie on a segment boundary.  Merging is a pure
+        block concatenation (see :func:`merge_token_segments`) so decoded
+        values are unchanged bit for bit; decoded-cache state whose
+        boundary fell strictly inside the merged range is dropped back to
+        ``from_token`` (segment-granular reads could no longer resume from
+        it), which is the only re-decode this rewrite can cost.
+        """
+        segments = self._segments["keys"]
+        idx, covered = self._prefix_index(segments, from_token)
+        if covered != from_token:
+            raise ValueError(
+                f"from_token {from_token} is not a segment boundary"
+            )
+        if idx >= len(segments):
+            raise ValueError(f"no segments at or after token {from_token}")
+        merged_k = merge_token_segments(segments[idx:])
+        merged_v = merge_token_segments(self._segments["values"][idx:])
+        self._segments["keys"][idx:] = [merged_k]
+        self._segments["values"][idx:] = [merged_v]
+        for side in ("keys", "values"):
+            if from_token < self._cached_tokens[side] < self._num_tokens:
+                self._truncate_cache(side, from_token)
+        return merged_k, merged_v

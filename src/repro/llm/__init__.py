@@ -3,6 +3,7 @@
 from .calibration import ActStats, CalibrationData, calibrate
 from .config import ModelSpec, ProxySpec, get_proxy_spec, get_spec
 from .data import TASK_NAMES, MCItem, SyntheticCorpus
+from .decode import BatchKV, decode_step
 from .eval import multiple_choice_accuracy, perplexity
 from .model import Param, ProxyModel
 from .quantize import (
@@ -10,12 +11,14 @@ from .quantize import (
     EccoStreamKVQuant,
     QuantizedModel,
     apply_named_scheme,
+    fit_kv_codec,
     quantize_model,
 )
 from .train import TrainedModel, get_trained_model, train_proxy
 
 __all__ = [
     "ActStats",
+    "BatchKV",
     "CalibrationData",
     "EccoStreamKVQuant",
     "MCItem",
@@ -30,6 +33,8 @@ __all__ = [
     "TrainedModel",
     "apply_named_scheme",
     "calibrate",
+    "decode_step",
+    "fit_kv_codec",
     "get_proxy_spec",
     "get_spec",
     "get_trained_model",

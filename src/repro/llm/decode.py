@@ -1,0 +1,131 @@
+"""Batched multi-request decode: one token per request per step.
+
+A serving engine decodes many requests in lockstep: the projections and
+the FFN run as one GEMM batched across requests, while attention walks
+each request's own decoded KV history — the continuous-batching shape
+production engines use.  KV state lives *outside* the model behind the
+small :class:`BatchKV` append/read interface, so the same step function
+drives any cache implementation: the paged compressed pool in
+``repro.serve``, a plain fp16 cache, or a test double.
+
+The math mirrors :meth:`ProxyModel.forward` exactly — RoPE at each
+request's absolute position, the fixed per-channel KV gains on the cache
+path, key smearing applied on *read* (the cache stores pre-smear keys,
+as ``forward`` quantizes them) — so a request decoded incrementally
+produces the same logits as the full-sequence forward pass, up to
+float32 summation order.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from .model import ProxyModel, _rmsnorm, _silu, _smear_heads
+
+__all__ = ["BatchKV", "decode_step"]
+
+
+class BatchKV(Protocol):
+    """Per-layer KV state for a batch of requests mid-decode.
+
+    ``append`` receives the batch's new key/value rows (one row per
+    request, gains applied, pre-smear — exactly what ``forward`` hands
+    its ``kv_quant`` hook); ``read`` returns each request's full decoded
+    history *including* the row just appended, as ``(T_r, n_heads *
+    head_dim)`` arrays.  Histories may differ in length across requests.
+    """
+
+    def append(
+        self, layer: int, keys: np.ndarray, values: np.ndarray
+    ) -> None: ...
+
+    def read(
+        self, layer: int
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]: ...
+
+
+def decode_step(
+    model: ProxyModel,
+    token_ids: np.ndarray,
+    positions: np.ndarray,
+    kv: BatchKV,
+    weights: dict | None = None,
+    act_quant=None,
+) -> np.ndarray:
+    """Advance every request by one token; returns (R, vocab) logits.
+
+    ``token_ids[r]`` is request *r*'s newest token and ``positions[r]``
+    its absolute position (= tokens already cached for that request).
+    ``weights`` / ``act_quant`` are the same quantization hooks
+    :meth:`ProxyModel.forward` takes, so a quantized model serves through
+    the identical code path.
+    """
+    spec = model.spec
+    token_ids = np.asarray(token_ids, dtype=np.int64).reshape(-1)
+    positions = np.asarray(positions, dtype=np.int64).reshape(-1)
+    if token_ids.size != positions.size:
+        raise ValueError(
+            f"got {token_ids.size} token ids for {positions.size} positions"
+        )
+    R = token_ids.size
+    H, hd = spec.n_heads, spec.head_dim
+    aq = act_quant if act_quant is not None else (lambda x: x)
+
+    half = hd // 2
+    freqs = 10000.0 ** (-np.arange(half) / half)
+    angles = positions[:, None] * freqs[None, :]
+    cos = np.cos(angles).astype(np.float32)[:, None, :]  # (R, 1, half)
+    sin = np.sin(angles).astype(np.float32)[:, None, :]
+    inv_sqrt = np.float32(1.0 / np.sqrt(hd))
+
+    def rope(t: np.ndarray) -> np.ndarray:
+        """Rotate (R, H, hd) at each request's own absolute position."""
+        t1, t2 = t[..., :half], t[..., half:]
+        return np.concatenate(
+            [t1 * cos - t2 * sin, t1 * sin + t2 * cos], axis=-1
+        )
+
+    x = model.params["embed"].data[token_ids]  # (R, d)
+    for layer in range(spec.num_layers):
+        p = f"layers.{layer}."
+        xn, _ = _rmsnorm(x)
+        xq = aq(xn)
+        q = xq @ model._weight(p + "attn.wq", weights).T
+        k = xq @ model._weight(p + "attn.wk", weights).T
+        v = xq @ model._weight(p + "attn.wv", weights).T
+        q = rope(q.reshape(R, H, hd))
+        k = rope(k.reshape(R, H, hd))
+        v = v.reshape(R, H, hd)
+        # The cache path: K/V stored (and compressed) with the fixed
+        # per-channel gains; q and the wo input compensate exactly.
+        gk = model.k_gain[layer].reshape(1, H, hd)
+        gv = model.v_gain[layer].reshape(1, H, hd)
+        q = (q / gk).astype(np.float32)
+        k = (k * gk).astype(np.float32)
+        v = (v * gv).astype(np.float32)
+        kv.append(layer, k.reshape(R, H * hd), v.reshape(R, H * hd))
+        keys_list, values_list = kv.read(layer)
+        ctx = np.empty((R, H * hd), dtype=np.float32)
+        for r in range(R):
+            kh = keys_list[r].reshape(-1, H, hd).transpose(1, 0, 2)
+            kh = _smear_heads(kh[None])[0]  # (H, T, hd), smear on read
+            vh = values_list[r].reshape(-1, H, hd).transpose(1, 0, 2)
+            scores = np.einsum("hd,htd->ht", q[r], kh) * inv_sqrt
+            scores -= scores.max(axis=-1, keepdims=True)
+            probs = np.exp(scores)
+            probs /= probs.sum(axis=-1, keepdims=True)
+            ctx[r] = np.einsum("ht,htd->hd", probs, vh).reshape(H * hd)
+        ctx = ctx / gv.reshape(1, H * hd)
+        x = x + aq(ctx) @ model._weight(p + "attn.wo", weights).T
+
+        xn2, _ = _rmsnorm(x)
+        xq2 = aq(xn2)
+        g = xq2 @ model._weight(p + "ffn.wg", weights).T
+        u = xq2 @ model._weight(p + "ffn.wu", weights).T
+        h = _silu(g) * u
+        x = x + aq(h) @ model._weight(p + "ffn.wd", weights).T
+
+    xf, _ = _rmsnorm(x)
+    return xf @ model.params["embed"].data.T

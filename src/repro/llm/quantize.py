@@ -28,9 +28,20 @@ from .calibration import CalibrationData
 from .model import ProxyModel
 
 __all__ = ["QuantizedModel", "quantize_model", "apply_named_scheme",
-           "NAMED_SCHEMES", "EccoStreamKVQuant"]
+           "NAMED_SCHEMES", "EccoStreamKVQuant", "fit_kv_codec"]
 
 _CALIB_GROUPS = 384
+
+
+def fit_kv_codec(sample: np.ndarray) -> KVCacheCodec:
+    """The one shared recipe for fitting a streaming KV codec from a
+    calibration sample.  The evaluation hook (:class:`EccoStreamKVQuant`)
+    and the serving backend (``repro.serve.storage.EccoKVBackend``) both
+    build their codecs here, so their compressed bytes always agree."""
+    meta = fit_tensor_meta(
+        sample, config=KV_CONFIG, max_calibration_groups=_CALIB_GROUPS
+    )
+    return KVCacheCodec(meta)
 
 
 @dataclass
@@ -202,10 +213,7 @@ class EccoStreamKVQuant:
         codec = self._codecs.get(name)
         if codec is None:
             sample = self._calib.kv_samples.get(name, kv)
-            meta = fit_tensor_meta(
-                sample, config=KV_CONFIG, max_calibration_groups=_CALIB_GROUPS
-            )
-            codec = KVCacheCodec(meta)
+            codec = fit_kv_codec(sample)
             self._codecs[name] = codec
         return codec
 

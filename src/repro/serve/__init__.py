@@ -1,0 +1,29 @@
+"""Serving layer: paged compressed-KV pool + continuous-batching engine.
+
+Turns the codec layers below into a multi-tenant serving system: Ecco's
+capacity win becomes admitted-requests-per-byte-budget, and its
+bandwidth win becomes modeled KV-read traffic per decode step.
+"""
+
+from .engine import ServingEngine
+from .metrics import EngineMetrics, decode_step_sectors
+from .pool import KVPage, PagedKVPool, chain_hash
+from .request import Request, RequestMetrics, RequestState
+from .scheduler import ContinuousBatchingScheduler
+from .storage import EccoKVBackend, Fp16KVBackend, RequestKV
+
+__all__ = [
+    "ContinuousBatchingScheduler",
+    "EccoKVBackend",
+    "EngineMetrics",
+    "Fp16KVBackend",
+    "KVPage",
+    "PagedKVPool",
+    "Request",
+    "RequestKV",
+    "RequestMetrics",
+    "RequestState",
+    "ServingEngine",
+    "chain_hash",
+    "decode_step_sectors",
+]

@@ -1,0 +1,254 @@
+"""The serving engine: paged compressed KV + continuous batching.
+
+One :class:`ServingEngine` owns a proxy model, a storage backend (Ecco
+blocks or fp16), a byte-budgeted :class:`~repro.serve.pool.PagedKVPool`
+and a :class:`~repro.serve.scheduler.ContinuousBatchingScheduler`.  Each
+``step()`` interleaves admission (swapped victims first, then new
+prefills while the pool has headroom) with one batched decode over every
+running request via :func:`repro.llm.decode_step`; when the next step's
+KV growth would not fit the budget, the youngest request is preempted —
+its pages swap out *in compressed form* and its decoded-segment caches
+stay, so re-admission costs swap traffic but zero re-decode.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.llm.decode import decode_step
+from repro.llm.model import ProxyModel
+
+from .metrics import EngineMetrics, decode_step_sectors
+from .pool import PagedKVPool
+from .request import Request, RequestState
+from .scheduler import ContinuousBatchingScheduler
+from .storage import EccoKVBackend, Fp16KVBackend
+
+__all__ = ["ServingEngine"]
+
+
+class _PoolBatchKV:
+    """Adapter: the running batch's RequestKVs behind the BatchKV protocol."""
+
+    def __init__(self, requests: list[Request]):
+        self.requests = requests
+
+    def append(self, layer: int, keys: np.ndarray, values: np.ndarray) -> None:
+        for r, request in enumerate(self.requests):
+            request.kv.append_token_layer(layer, keys[r], values[r])
+
+    def read(self, layer: int):
+        keys = [request.kv.read(layer, "keys") for request in self.requests]
+        values = [request.kv.read(layer, "values") for request in self.requests]
+        return keys, values
+
+
+class ServingEngine:
+    """Multi-request serving over a byte-budgeted paged KV pool."""
+
+    def __init__(
+        self,
+        model: ProxyModel,
+        calib=None,
+        *,
+        storage: str = "ecco",
+        byte_budget: int,
+        page_tokens: int = 8,
+        max_batch_size: int = 8,
+        watermark: float = 0.05,
+        weights: dict | None = None,
+        act_quant=None,
+        record_reference: bool = False,
+        clock=time.perf_counter,
+    ):
+        self.model = model
+        spec = model.spec
+        if storage == "ecco":
+            if calib is None:
+                raise ValueError("the ecco backend needs calibration data")
+            self.backend = EccoKVBackend(spec.num_layers, spec.d_model, calib)
+        elif storage == "fp16":
+            self.backend = Fp16KVBackend(spec.num_layers, spec.d_model)
+        else:
+            raise KeyError(f"unknown storage {storage!r}; known: ecco, fp16")
+        self.pool = PagedKVPool(byte_budget, page_tokens=page_tokens)
+        self.scheduler = ContinuousBatchingScheduler(
+            max_batch_size=max_batch_size, watermark=watermark
+        )
+        self.metrics = EngineMetrics()
+        self.weights = weights
+        self.act_quant = act_quant
+        self.record_reference = record_reference
+        self.clock = clock
+        self.requests: list[Request] = []
+        self._next_request = 0
+
+    # ------------------------------------------------------------------
+    # Submission.
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        prompt: np.ndarray,
+        max_new_tokens: int,
+        request_id: str | None = None,
+        eos_token: int | None = None,
+    ) -> Request:
+        """Queue one request; rejects requests that can never fit."""
+        if request_id is None:
+            request_id = f"req-{self._next_request}"
+        self._next_request += 1
+        request = Request(
+            request_id=request_id,
+            prompt=prompt,
+            max_new_tokens=max_new_tokens,
+            eos_token=eos_token,
+        )
+        full_bytes = (
+            request.prompt_len + request.max_new_tokens
+        ) * self.backend.per_token_nbytes
+        if full_bytes > self.pool.byte_budget:
+            raise ValueError(
+                f"request needs {full_bytes} B of KV at full length but the "
+                f"pool budget is {self.pool.byte_budget} B"
+            )
+        request.metrics.arrival_s = self.clock()
+        self.requests.append(request)
+        self.scheduler.submit(request)
+        return request
+
+    # ------------------------------------------------------------------
+    # Scheduling helpers.
+    # ------------------------------------------------------------------
+    def _admit(self) -> None:
+        scheduler, pool = self.scheduler, self.pool
+        # Preempted requests first: their compressed bytes swap back in.
+        while scheduler.swapped and scheduler.has_batch_room:
+            request = scheduler.swapped[0]
+            need = request.kv.logical_nbytes + self.backend.per_token_nbytes
+            if need > scheduler.admission_headroom(pool) and scheduler.running:
+                break
+            request.kv.swap_in()
+            scheduler.activate(request, "swapped")
+        # Then fresh prefills.
+        while (
+            scheduler.waiting
+            and scheduler.has_batch_room
+            and not scheduler.swapped
+        ):
+            request = scheduler.waiting[0]
+            need = request.prompt_len * self.backend.per_token_nbytes
+            if need > scheduler.admission_headroom(pool) and scheduler.running:
+                break
+            self._prefill(request)
+
+    def _prefill(self, request: Request) -> None:
+        """Admit one request: run its prompt, emit its first token."""
+        request.kv = self.backend.create_request(
+            self.pool, request.prompt, record_raw=self.record_reference
+        )
+        logits = self.model.forward(
+            request.prompt[None, :],
+            weights=self.weights,
+            act_quant=self.act_quant,
+            kv_quant=request.kv.prefill_hook(),
+        )
+        request.kv.commit_prompt()
+        self.scheduler.activate(request, "waiting")
+        first = int(np.argmax(logits[0, -1]))
+        now = self.clock()
+        request.generated.append(first)
+        request.metrics.first_token_s = now
+        request.metrics.token_s.append(now)
+        self.metrics.prefills += 1
+        if request.finished:
+            self._finish(request, now)
+
+    def _ensure_decode_capacity(self) -> None:
+        """Preempt (youngest first) until this step's KV growth fits."""
+        scheduler, pool = self.scheduler, self.pool
+        while len(scheduler.running) > 1:
+            need = len(scheduler.running) * self.backend.per_token_nbytes
+            if pool.can_fit_with_eviction(need):
+                return
+            victim = scheduler.pick_victim()
+            victim.kv.swap_out()
+            scheduler.preempt(victim)
+            self.metrics.preemptions += 1
+
+    def _finish(self, request: Request, now: float) -> None:
+        request.kv.release()
+        self.scheduler.finish(request)
+        request.metrics.finish_s = now
+
+    # ------------------------------------------------------------------
+    # The step loop.
+    # ------------------------------------------------------------------
+    def step(self) -> int:
+        """One scheduler iteration; returns tokens generated this step."""
+        self._admit()
+        if not self.scheduler.running:
+            return 0
+        self._ensure_decode_capacity()
+        batch = list(self.scheduler.running)
+        # Count concurrency after the capacity pass: these requests
+        # actually decode together this step.
+        self.metrics.record_concurrency(len(batch))
+
+        token_ids = np.array([r.generated[-1] for r in batch], dtype=np.int64)
+        positions = np.array([r.kv.num_tokens for r in batch], dtype=np.int64)
+        batch_kv = _PoolBatchKV(batch)
+        logits = decode_step(
+            self.model,
+            token_ids,
+            positions,
+            batch_kv,
+            weights=self.weights,
+            act_quant=self.act_quant,
+        )
+        now = self.clock()
+        for request in batch:
+            request.kv.commit_token(request.generated[-1])
+        # Traffic is accounted before finishes release any KV: attention
+        # read every request's full history this step, including the ones
+        # about to finish.
+        kv_read = float(sum(r.kv.logical_nbytes for r in batch))
+        kv_read_fp16 = float(sum(r.kv.logical_fp16_nbytes for r in batch))
+        for r, request in enumerate(batch):
+            request.generated.append(int(np.argmax(logits[r])))
+            request.metrics.token_s.append(now)
+            if request.finished:
+                self._finish(request, now)
+
+        spec = self.model.spec
+        self.metrics.record_decode_step(
+            batch=len(batch),
+            kv_read_bytes=kv_read,
+            kv_read_fp16_bytes=kv_read_fp16,
+            sectors=decode_step_sectors(
+                spec.num_layers,
+                spec.d_model,
+                spec.ffn_dim,
+                len(batch),
+                kv_read,
+            ),
+        )
+        return len(batch)
+
+    def run(self, max_steps: int = 100_000) -> dict:
+        """Drive ``step()`` until every submitted request finishes."""
+        start = self.clock()
+        steps = 0
+        while self.scheduler.has_work:
+            if steps >= max_steps:
+                raise RuntimeError(f"engine did not drain in {max_steps} steps")
+            self.step()
+            steps += 1
+        return self.report(self.clock() - start)
+
+    def report(self, elapsed_s: float) -> dict:
+        summary = self.metrics.summary(self.requests, self.pool, elapsed_s)
+        summary["storage"] = self.backend.name
+        summary["per_token_nbytes"] = self.backend.per_token_nbytes
+        return summary

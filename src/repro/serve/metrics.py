@@ -1,0 +1,129 @@
+"""Serving metrics: request latencies, occupancy, modeled HBM traffic.
+
+The wall-clock numbers (TTFT, inter-token latency, tokens/s) come from
+the engine's software execution; the *bandwidth* numbers come from the
+``repro.memsys`` sector-level GEMM model, extended here to a
+multi-tenant decode step: every layer's seven projection GEMMs batched
+over the running requests, plus the KV-cache read stream whose size is
+whatever the pool actually holds — compressed blocks for the Ecco pool,
+raw fp16 for the baseline.  That is the accounting that turns the
+pool's capacity win into a modeled traffic win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.memsys import A100, GPUParams, gemm_traffic
+
+__all__ = ["EngineMetrics", "decode_step_sectors"]
+
+
+def decode_step_sectors(
+    num_layers: int,
+    d_model: int,
+    ffn_dim: int,
+    batch: int,
+    kv_read_bytes: float,
+    weight_bits: float = 16.0,
+    act_bits: float = 16.0,
+    gpu: GPUParams = A100,
+) -> float:
+    """Modeled 32-byte sectors one continuous-batching decode step moves.
+
+    Per layer: the four attention projections (d x d) and the three
+    SwiGLU projections (two d->ffn, one ffn->d), each an ``(batch, k, n)``
+    GEMM through :func:`repro.memsys.gemm_traffic`; plus the KV stream —
+    ``kv_read_bytes`` is the sum over running requests of the bytes their
+    attention reads back (the pool's storage format decides how many).
+    """
+    gemms = [
+        (batch, d_model, d_model),  # wq
+        (batch, d_model, d_model),  # wk
+        (batch, d_model, d_model),  # wv
+        (batch, d_model, d_model),  # wo
+        (batch, d_model, ffn_dim),  # wg
+        (batch, d_model, ffn_dim),  # wu
+        (batch, ffn_dim, d_model),  # wd
+    ]
+    sectors = 0.0
+    for m, k, n in gemms:
+        sectors += gemm_traffic(
+            m, k, n, weight_bits, act_bits=act_bits, gpu=gpu
+        ).total_sectors
+    sectors *= num_layers
+    sectors += float(np.ceil(kv_read_bytes / gpu.sector_bytes))
+    return float(sectors)
+
+
+@dataclass
+class EngineMetrics:
+    """Aggregate counters one engine run accumulates."""
+
+    prefills: int = 0
+    decode_steps: int = 0
+    preemptions: int = 0
+    #: Tokens emitted by decode steps (prefill first-tokens not included).
+    decode_tokens: int = 0
+    peak_concurrency: int = 0
+    batch_occupancy: list[int] = field(default_factory=list)
+    modeled_sectors: float = 0.0
+    modeled_kv_read_bytes: float = 0.0
+    modeled_kv_read_fp16_bytes: float = 0.0
+
+    def record_concurrency(self, running: int) -> None:
+        self.peak_concurrency = max(self.peak_concurrency, running)
+
+    def record_decode_step(
+        self,
+        batch: int,
+        kv_read_bytes: float,
+        kv_read_fp16_bytes: float,
+        sectors: float,
+    ) -> None:
+        self.decode_steps += 1
+        self.batch_occupancy.append(batch)
+        self.decode_tokens += batch
+        self.modeled_kv_read_bytes += kv_read_bytes
+        self.modeled_kv_read_fp16_bytes += kv_read_fp16_bytes
+        self.modeled_sectors += sectors
+
+    def summary(self, requests: list, pool, elapsed_s: float) -> dict:
+        """The serving report: latencies, throughput, capacity, traffic."""
+        finished = [r for r in requests if r.metrics.finish_s is not None]
+        ttfts = [
+            r.metrics.ttft_s for r in requests if r.metrics.ttft_s is not None
+        ]
+        e2e = [r.metrics.e2e_s for r in finished]
+        inter = [
+            gap for r in requests for gap in r.metrics.inter_token_s
+        ]
+        generated = sum(len(r.generated) for r in requests)
+        out = {
+            "requests": len(requests),
+            "finished": len(finished),
+            "elapsed_s": elapsed_s,
+            "tokens_generated": generated,
+            "tokens_per_s": generated / max(elapsed_s, 1e-9),
+            "ttft_s_mean": float(np.mean(ttfts)) if ttfts else None,
+            "ttft_s_max": float(np.max(ttfts)) if ttfts else None,
+            "e2e_s_mean": float(np.mean(e2e)) if e2e else None,
+            "inter_token_s_mean": float(np.mean(inter)) if inter else None,
+            "prefills": self.prefills,
+            "decode_steps": self.decode_steps,
+            "decode_tokens": self.decode_tokens,
+            "preemptions": self.preemptions,
+            "peak_concurrency": self.peak_concurrency,
+            "mean_batch_occupancy": (
+                float(np.mean(self.batch_occupancy))
+                if self.batch_occupancy
+                else 0.0
+            ),
+            "modeled_kv_read_bytes": self.modeled_kv_read_bytes,
+            "modeled_kv_read_fp16_bytes": self.modeled_kv_read_fp16_bytes,
+            "modeled_sectors": self.modeled_sectors,
+            "pool": pool.snapshot(),
+        }
+        return out

@@ -1,0 +1,348 @@
+"""The paged KV pool: bounded byte budget, ref counts, prefix sharing.
+
+Pages are fixed-token-count units whose payload is every layer's K and V
+segment for those tokens — Ecco-compressed 64-byte blocks in the
+``ecco`` storage mode, raw fp16 arrays in the baseline mode.  The pool
+is storage-agnostic: it owns the *accounting* (a hard byte budget, ref
+counts, content-hash prefix sharing, swap traffic) while the backends in
+``repro.serve.storage`` own the payloads.
+
+Sharing is hash-chained like vLLM's prefix cache: a page's identity is
+``H(parent_chain, token_ids)``, so two requests whose prompts agree
+token-for-token up to a page boundary resolve to the same chain and
+share one resident copy (ref-counted).  Because the Ecco codec is
+deterministic and causal attention makes a prefix's KV independent of
+what follows, the shared bytes are bit-identical to what each request
+would have encoded alone.
+
+Preemption support distinguishes *resident* references (running
+requests) from *swapped* references (preempted requests): a page's bytes
+leave the device — and count as swap traffic — only when its last
+resident reference does, so preempting one tenant of a shared prompt
+moves nothing.
+
+Pages whose last reference disappears are not freed eagerly: they stay
+resident as an evictable LRU prefix cache, so a request arriving after
+every earlier tenant finished still shares the common prompt's pages.
+Cached pages are reclaimed lazily whenever new allocations need the
+room.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["KVPage", "PagedKVPool", "chain_hash"]
+
+#: The root of every page hash chain.
+ROOT_CHAIN = "root"
+
+
+def chain_hash(parent: str, token_ids) -> str:
+    """Position-aware content hash of a page: parent chain + its tokens."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(parent.encode())
+    h.update(np.asarray(token_ids, dtype=np.int64).tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class KVPage:
+    """One page: every layer's K/V segments for ``token_ids``."""
+
+    page_id: int
+    chain: str
+    token_ids: tuple
+    #: layer -> (key segment, value segment); CompressedTensor pairs in
+    #: ecco mode, fp16 ndarray pairs in the baseline mode.
+    payload: dict = field(default_factory=dict)
+    nbytes: int = 0
+    fp16_nbytes: int = 0
+    #: References held by running (resident) requests.
+    ref_count: int = 0
+    #: References held by swapped-out (preempted) requests.
+    swapped_refs: int = 0
+
+    @property
+    def num_tokens(self) -> int:
+        return len(self.token_ids)
+
+
+class PagedKVPool:
+    """Byte-budgeted page pool with sharing and swap accounting."""
+
+    def __init__(self, byte_budget: int, page_tokens: int = 8):
+        if byte_budget <= 0:
+            raise ValueError("byte_budget must be positive")
+        if page_tokens < 1:
+            raise ValueError("page_tokens must be >= 1")
+        self.byte_budget = int(byte_budget)
+        self.page_tokens = int(page_tokens)
+        self._pages: dict[int, KVPage] = {}     # resident pages by id
+        self._swapped: dict[int, KVPage] = {}   # swapped-out pages by id
+        self._index: dict[str, int] = {}        # chain -> resident page id
+        #: Ref-0 pages retained as a prefix cache, insertion-ordered = LRU.
+        self._cached: dict[int, KVPage] = {}
+        self._next_id = 0
+        #: Actual bytes resident (pages + private tail reservations).
+        self.bytes_resident = 0
+        #: What the same resident tokens would cost stored as fp16.
+        self.fp16_bytes_resident = 0
+        #: Resident bytes held only by the evictable prefix cache.
+        self.bytes_evictable = 0
+        self.bytes_swapped = 0
+        self.private_bytes = 0
+        self.stats = {
+            "pages_allocated": 0,
+            "pages_shared": 0,
+            "pages_freed": 0,
+            "pages_evicted": 0,
+            "prefix_cache_hits": 0,
+            "bytes_written": 0,
+            "shared_bytes_saved": 0,
+            "swap_out_bytes": 0,
+            "swap_in_bytes": 0,
+            "peak_bytes_resident": 0,
+            "peak_fp16_bytes_resident": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Budget.
+    # ------------------------------------------------------------------
+    @property
+    def bytes_free(self) -> int:
+        return self.byte_budget - self.bytes_resident
+
+    @property
+    def bytes_active(self) -> int:
+        """Resident bytes pinned by live references (not evictable)."""
+        return self.bytes_resident - self.bytes_evictable
+
+    def can_fit(self, nbytes: int) -> bool:
+        return self.bytes_resident + nbytes <= self.byte_budget
+
+    def can_fit_with_eviction(self, nbytes: int) -> bool:
+        """Would ``nbytes`` fit after reclaiming the whole prefix cache?"""
+        return self.bytes_active + nbytes <= self.byte_budget
+
+    def _evict_for(self, nbytes: int) -> None:
+        """Reclaim LRU prefix-cache pages until ``nbytes`` fits (or none
+        are left); allocation paths call this before claiming bytes."""
+        while not self.can_fit(nbytes) and self._cached:
+            page_id = next(iter(self._cached))
+            page = self._cached.pop(page_id)
+            self.bytes_evictable -= page.nbytes
+            self._unregister(page)
+            self.stats["pages_evicted"] += 1
+            self.stats["pages_freed"] += 1
+
+    def _bump(self, nbytes: int, fp16_nbytes: int) -> None:
+        self.bytes_resident += nbytes
+        self.fp16_bytes_resident += fp16_nbytes
+        self.stats["peak_bytes_resident"] = max(
+            self.stats["peak_bytes_resident"], self.bytes_resident
+        )
+        self.stats["peak_fp16_bytes_resident"] = max(
+            self.stats["peak_fp16_bytes_resident"], self.fp16_bytes_resident
+        )
+
+    # ------------------------------------------------------------------
+    # Pages: acquire / release / swap.
+    # ------------------------------------------------------------------
+    def peek(self, chain: str) -> KVPage | None:
+        """The resident page for ``chain``, if any (no ref taken)."""
+        page_id = self._index.get(chain)
+        return None if page_id is None else self._pages[page_id]
+
+    def acquire(
+        self, chain: str, token_ids, build_payload, count_write: bool = True
+    ) -> tuple[KVPage, bool]:
+        """A resident page for ``chain``: shared (ref++) or newly built.
+
+        ``build_payload`` is called only on a miss and must return
+        ``(payload, nbytes, fp16_nbytes)``.  Returns ``(page, shared)``.
+        Pass ``count_write=False`` when the payload bytes were already
+        accounted as written (promoting a private tail into a page moves
+        no payload bytes).
+        """
+        existing = self.peek(chain)
+        if existing is not None:
+            if existing.ref_count == 0:  # prefix-cache hit: re-pin it
+                self._cached.pop(existing.page_id, None)
+                self.bytes_evictable -= existing.nbytes
+                self.stats["prefix_cache_hits"] += 1
+            existing.ref_count += 1
+            self.stats["pages_shared"] += 1
+            self.stats["shared_bytes_saved"] += existing.nbytes
+            return existing, True
+        payload, nbytes, fp16_nbytes = build_payload()
+        self._evict_for(nbytes)
+        page = KVPage(
+            page_id=self._next_id,
+            chain=chain,
+            token_ids=tuple(int(t) for t in token_ids),
+            payload=payload,
+            nbytes=int(nbytes),
+            fp16_nbytes=int(fp16_nbytes),
+            ref_count=1,
+        )
+        self._next_id += 1
+        self._pages[page.page_id] = page
+        self._index[chain] = page.page_id
+        self._bump(page.nbytes, page.fp16_nbytes)
+        self.stats["pages_allocated"] += 1
+        if count_write:
+            self.stats["bytes_written"] += page.nbytes
+        return page, False
+
+    def _unregister(self, page: KVPage) -> None:
+        del self._pages[page.page_id]
+        if self._index.get(page.chain) == page.page_id:
+            del self._index[page.chain]
+        self.bytes_resident -= page.nbytes
+        self.fp16_bytes_resident -= page.fp16_nbytes
+
+    def _maybe_demote(self, page: KVPage) -> None:
+        """A page whose last resident ref just left: swap it out if a
+        preempted request still needs it, otherwise retain it resident in
+        the evictable prefix cache."""
+        if page.ref_count > 0:
+            return
+        if page.page_id in self._pages:
+            if page.swapped_refs > 0:
+                self._unregister(page)
+                self._swapped[page.page_id] = page
+                self.bytes_swapped += page.nbytes
+                self.stats["swap_out_bytes"] += page.nbytes
+                return
+            self._cached[page.page_id] = page
+            self.bytes_evictable += page.nbytes
+        elif page.swapped_refs == 0 and page.page_id in self._swapped:
+            del self._swapped[page.page_id]
+            self.bytes_swapped -= page.nbytes
+            self.stats["pages_freed"] += 1
+
+    def release(self, page: KVPage) -> None:
+        """Drop a resident reference (request finished)."""
+        if page.ref_count <= 0:
+            raise ValueError(f"page {page.page_id} has no resident refs")
+        page.ref_count -= 1
+        self._maybe_demote(page)
+
+    def swap_out(self, page: KVPage) -> None:
+        """Turn a resident reference into a swapped one (preemption).
+
+        Bytes move — and count as swap-out traffic — only if this was the
+        page's last resident reference; a page still referenced by other
+        running requests stays put.
+        """
+        if page.ref_count <= 0:
+            raise ValueError(f"page {page.page_id} has no resident refs")
+        page.ref_count -= 1
+        page.swapped_refs += 1
+        self._maybe_demote(page)
+
+    def swap_in(self, page: KVPage) -> KVPage:
+        """Turn a swapped reference back into a resident one.
+
+        Returns the resident page now serving the reference: normally
+        ``page`` itself, but if a bit-identical page for the same chain
+        was rebuilt resident while this one was out (another tenant
+        prefilled the same prefix), that copy is re-pinned instead and
+        the swapped duplicate is dropped — no bytes move, and the budget
+        never carries the same content twice.
+        """
+        if page.swapped_refs <= 0:
+            raise ValueError(f"page {page.page_id} has no swapped refs")
+        page.swapped_refs -= 1
+        if page.page_id in self._pages:
+            page.ref_count += 1  # stayed resident via another request
+            return page
+        resident_id = self._index.get(page.chain)
+        if resident_id is not None:
+            # Other preempted requests may still reference the swapped
+            # copy; it is freed only when the last of them leaves.
+            if page.swapped_refs == 0:
+                del self._swapped[page.page_id]
+                self.bytes_swapped -= page.nbytes
+                self.stats["pages_freed"] += 1
+            substitute = self._pages[resident_id]
+            if substitute.ref_count == 0:  # sitting in the prefix cache
+                self._cached.pop(substitute.page_id, None)
+                self.bytes_evictable -= substitute.nbytes
+                self.stats["prefix_cache_hits"] += 1
+            substitute.ref_count += 1
+            self.stats["pages_shared"] += 1
+            self.stats["shared_bytes_saved"] += substitute.nbytes
+            return substitute
+        del self._swapped[page.page_id]
+        self._evict_for(page.nbytes)
+        self._pages[page.page_id] = page
+        self._index.setdefault(page.chain, page.page_id)
+        self.bytes_swapped -= page.nbytes
+        page.ref_count += 1
+        self._bump(page.nbytes, page.fp16_nbytes)
+        self.stats["swap_in_bytes"] += page.nbytes
+        return page
+
+    # ------------------------------------------------------------------
+    # Private (unpaged tail) reservations.
+    # ------------------------------------------------------------------
+    def reserve_private(self, nbytes: int, fp16_nbytes: int) -> None:
+        """Account bytes for a request's not-yet-paged tail segments."""
+        self._evict_for(nbytes)
+        self.private_bytes += nbytes
+        self._bump(nbytes, fp16_nbytes)
+        self.stats["bytes_written"] += nbytes
+
+    def free_private(self, nbytes: int, fp16_nbytes: int) -> None:
+        self.private_bytes -= nbytes
+        self.bytes_resident -= nbytes
+        self.fp16_bytes_resident -= fp16_nbytes
+
+    def swap_private_out(self, nbytes: int, fp16_nbytes: int) -> None:
+        self.free_private(nbytes, fp16_nbytes)
+        self.bytes_swapped += nbytes
+        self.stats["swap_out_bytes"] += nbytes
+
+    def swap_private_in(self, nbytes: int, fp16_nbytes: int) -> None:
+        self._evict_for(nbytes)
+        self.bytes_swapped -= nbytes
+        self.private_bytes += nbytes
+        self._bump(nbytes, fp16_nbytes)
+        self.stats["swap_in_bytes"] += nbytes
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    @property
+    def num_resident_pages(self) -> int:
+        return len(self._pages)
+
+    @property
+    def num_swapped_pages(self) -> int:
+        return len(self._swapped)
+
+    @property
+    def num_cached_pages(self) -> int:
+        return len(self._cached)
+
+    def snapshot(self) -> dict:
+        """Current occupancy + lifetime counters (for reports)."""
+        return {
+            "byte_budget": self.byte_budget,
+            "page_tokens": self.page_tokens,
+            "bytes_resident": self.bytes_resident,
+            "bytes_active": self.bytes_active,
+            "bytes_evictable": self.bytes_evictable,
+            "fp16_bytes_resident": self.fp16_bytes_resident,
+            "bytes_swapped": self.bytes_swapped,
+            "private_bytes": self.private_bytes,
+            "resident_pages": self.num_resident_pages,
+            "swapped_pages": self.num_swapped_pages,
+            "cached_pages": self.num_cached_pages,
+            **self.stats,
+        }

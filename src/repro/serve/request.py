@@ -1,0 +1,94 @@
+"""Request lifecycle: states, per-request latency metrics, the Request."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class RequestState(enum.Enum):
+    """Where a request sits in the continuous-batching lifecycle."""
+
+    WAITING = "waiting"    # submitted, KV not yet allocated
+    RUNNING = "running"    # in the decode batch, KV resident
+    SWAPPED = "swapped"    # preempted; KV swapped out in compressed form
+    FINISHED = "finished"  # done; KV released
+
+
+@dataclass
+class RequestMetrics:
+    """Wall-clock latency record of one request."""
+
+    arrival_s: float = 0.0
+    first_token_s: float | None = None
+    finish_s: float | None = None
+    #: Timestamp of every generated token (the first is the prefill token).
+    token_s: list[float] = field(default_factory=list)
+    preemptions: int = 0
+
+    @property
+    def ttft_s(self) -> float | None:
+        """Time to first token: queueing + prefill."""
+        if self.first_token_s is None:
+            return None
+        return self.first_token_s - self.arrival_s
+
+    @property
+    def e2e_s(self) -> float | None:
+        """End-to-end latency from arrival to last token."""
+        if self.finish_s is None:
+            return None
+        return self.finish_s - self.arrival_s
+
+    @property
+    def inter_token_s(self) -> list[float]:
+        """Per-token decode latencies (gaps between token timestamps)."""
+        return [b - a for a, b in zip(self.token_s, self.token_s[1:])]
+
+
+@dataclass(eq=False)
+class Request:
+    """One generation request moving through the serving engine.
+
+    Identity semantics (``eq=False``): the scheduler moves requests
+    between queues by object identity, and field equality would choke on
+    the ndarray prompt anyway.
+    """
+
+    request_id: str
+    prompt: np.ndarray
+    max_new_tokens: int
+    eos_token: int | None = None
+    state: RequestState = RequestState.WAITING
+    generated: list[int] = field(default_factory=list)
+    metrics: RequestMetrics = field(default_factory=RequestMetrics)
+    #: Paged KV state; attached by the engine at admission.
+    kv: object | None = None
+
+    def __post_init__(self) -> None:
+        self.prompt = np.asarray(self.prompt, dtype=np.int64).reshape(-1)
+        if self.prompt.size == 0:
+            raise ValueError("empty prompt")
+        if self.max_new_tokens < 1:
+            raise ValueError("max_new_tokens must be >= 1")
+
+    @property
+    def prompt_len(self) -> int:
+        return int(self.prompt.size)
+
+    @property
+    def num_tokens(self) -> int:
+        """Prompt plus generated tokens so far."""
+        return self.prompt_len + len(self.generated)
+
+    @property
+    def finished(self) -> bool:
+        if len(self.generated) >= self.max_new_tokens:
+            return True
+        return bool(
+            self.eos_token is not None
+            and self.generated
+            and self.generated[-1] == self.eos_token
+        )

@@ -1,0 +1,77 @@
+"""Continuous-batching scheduling policy.
+
+FCFS admission with a watermark of headroom reserved for decode growth,
+preempted requests re-admitted before new ones (vLLM's recompute-free
+ordering — cheap here because victims swap out in compressed form and
+keep their decoded caches), and youngest-first victim selection so the
+requests that have consumed the least work are the ones displaced.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .pool import PagedKVPool
+from .request import Request, RequestState
+
+__all__ = ["ContinuousBatchingScheduler"]
+
+
+class ContinuousBatchingScheduler:
+    """Queues + policy; the engine executes the transitions it picks."""
+
+    def __init__(self, max_batch_size: int = 8, watermark: float = 0.05):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if not 0.0 <= watermark < 1.0:
+            raise ValueError("watermark must be in [0, 1)")
+        self.max_batch_size = int(max_batch_size)
+        self.watermark = float(watermark)
+        self.waiting: deque[Request] = deque()
+        self.running: list[Request] = []
+        self.swapped: deque[Request] = deque()
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.waiting or self.running or self.swapped)
+
+    @property
+    def has_batch_room(self) -> bool:
+        return len(self.running) < self.max_batch_size
+
+    def submit(self, request: Request) -> None:
+        request.state = RequestState.WAITING
+        self.waiting.append(request)
+
+    def admission_headroom(self, pool: PagedKVPool) -> int:
+        """Bytes a new admission may claim, keeping a watermark of the
+        budget free for the running batch's per-step decode growth.
+        Prefix-cache pages are reclaimable, so only *active* bytes count
+        against the ceiling."""
+        ceiling = int(pool.byte_budget * (1.0 - self.watermark))
+        return ceiling - pool.bytes_active
+
+    def activate(self, request: Request, source: str) -> None:
+        """Move a request from ``waiting``/``swapped`` into the batch."""
+        queue = self.waiting if source == "waiting" else self.swapped
+        queue.remove(request)
+        request.state = RequestState.RUNNING
+        self.running.append(request)
+
+    def preempt(self, request: Request) -> None:
+        self.running.remove(request)
+        request.state = RequestState.SWAPPED
+        request.metrics.preemptions += 1
+        # Oldest-first re-admission: victims are the youngest, so plain
+        # append keeps the swapped queue arrival-ordered.
+        self.swapped.append(request)
+
+    def finish(self, request: Request) -> None:
+        self.running.remove(request)
+        request.state = RequestState.FINISHED
+
+    def pick_victim(self) -> Request:
+        """The youngest-arrival running request (least sunk work)."""
+        if not self.running:
+            raise RuntimeError("no running request to preempt")
+        return max(self.running, key=lambda r: r.metrics.arrival_s)

@@ -1,0 +1,510 @@
+"""Storage backends: per-request paged KV state over the shared pool.
+
+Two backends serve the same engine: :class:`EccoKVBackend` stores pages
+as Ecco 64-byte blocks (one :class:`~repro.core.KVCacheStream` per
+layer per request, so reads reuse the PR-2 decoded-segment cache and a
+preempted request re-admits without re-decoding history), and
+:class:`Fp16KVBackend` stores raw fp16 — the capacity baseline.
+
+A request's KV lives in two tiers: *pages* (full ``page_tokens`` units,
+pool-accounted, prefix-shared, swap units) and a *private tail* (the
+most recent tokens, appended one per decode step).  When the tail fills
+a page the backend coalesces it — for Ecco a pure block concatenation
+via ``KVCacheStream.coalesce`` that rewrites segments without touching
+a byte of payload — and promotes it into the pool, where a concurrent
+request that generated the identical continuation would share it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import KV_CONFIG, KVCacheCodec, KVCacheStream
+from repro.llm.quantize import fit_kv_codec
+
+from .pool import ROOT_CHAIN, KVPage, PagedKVPool, chain_hash
+
+__all__ = ["EccoKVBackend", "Fp16KVBackend", "RequestKV"]
+
+
+def _parse_hook_name(name: str) -> tuple[int, str]:
+    """'layers.3.k_cache' -> (3, 'keys')."""
+    layer = int(name.split(".")[1])
+    side = "keys" if name.endswith("k_cache") else "values"
+    return layer, side
+
+
+class RequestKV:
+    """One request's paged KV: pages + private tail + decoded reads.
+
+    Subclasses implement the storage format; this base owns the paging
+    arithmetic, the pool accounting, the page hash chain, and the
+    prefill capture protocol (the object doubles as the ``kv_quant``
+    hook a prefill forward pass runs through).
+    """
+
+    def __init__(
+        self,
+        backend,
+        pool: PagedKVPool,
+        prompt_ids: np.ndarray,
+        record_raw: bool = False,
+    ):
+        self.backend = backend
+        self.pool = pool
+        self.page_tokens = pool.page_tokens
+        self.prompt_ids = [int(t) for t in np.asarray(prompt_ids).reshape(-1)]
+        self.token_ids: list[int] = []
+        self.pages: list[KVPage] = []
+        self.resident = True
+        self._pending: dict | None = {}
+        self._unpaged_nbytes = 0
+        self._unpaged_fp16_nbytes = 0
+        # Page hash chain over the prompt's full pages.
+        P = self.page_tokens
+        self._num_prompt_pages = len(self.prompt_ids) // P
+        self._page_chains: list[str] = []
+        chain = ROOT_CHAIN
+        for j in range(self._num_prompt_pages):
+            chain = chain_hash(chain, self.prompt_ids[j * P : (j + 1) * P])
+            self._page_chains.append(chain)
+        self._last_chain = chain
+        # Raw (pre-quantization) K/V history for bit-exactness audits.
+        self.raw_prompt: dict | None = None
+        self.raw_decode: dict | None = None
+        if record_raw:
+            L = backend.num_layers
+            self.raw_prompt = {
+                layer: {"keys": None, "values": None} for layer in range(L)
+            }
+            self.raw_decode = {
+                layer: {"keys": [], "values": []} for layer in range(L)
+            }
+
+    # ------------------------------------------------------------------
+    # Paging arithmetic.
+    # ------------------------------------------------------------------
+    @property
+    def num_tokens(self) -> int:
+        return len(self.token_ids)
+
+    @property
+    def paged_tokens(self) -> int:
+        return sum(page.num_tokens for page in self.pages)
+
+    @property
+    def unpaged_tokens(self) -> int:
+        return self.num_tokens - self.paged_tokens
+
+    @property
+    def logical_nbytes(self) -> int:
+        """Bytes this request's attention reads each step (its whole KV,
+        whether or not some pages are physically shared)."""
+        return sum(page.nbytes for page in self.pages) + self._unpaged_nbytes
+
+    @property
+    def logical_fp16_nbytes(self) -> int:
+        return self.num_tokens * self.backend.per_token_fp16_nbytes
+
+    # ------------------------------------------------------------------
+    # Prefill: the object is the kv_quant hook of the prefill forward.
+    # ------------------------------------------------------------------
+    def prefill_hook(self):
+        """The ``kv_quant`` callable a prefill forward pass runs through.
+
+        For every layer's K then V it chunks the prompt KV into pages
+        (reusing a shared resident page's payload instead of re-encoding
+        when the prefix chain hits) plus a tail segment, and returns the
+        storage roundtrip — so prefill logits see exactly the KV later
+        decode steps will read.
+        """
+        def hook(name: str, kv: np.ndarray) -> np.ndarray:
+            layer, side = _parse_hook_name(name)
+            kv = np.asarray(kv, dtype=np.float32)
+            if self.raw_prompt is not None:
+                self.raw_prompt[layer][side] = kv.copy()
+            segments, decoded = self._encode_prompt_side(layer, side, kv)
+            self._pending[(layer, side)] = segments
+            return decoded
+        return hook
+
+    def commit_prompt(self) -> None:
+        """Promote the captured prompt KV into pool pages + tail state."""
+        if self._pending is None:
+            raise RuntimeError("prompt already committed")
+        self.token_ids = list(self.prompt_ids)
+        L = self.backend.num_layers
+        P = self.page_tokens
+        for j, chain in enumerate(self._page_chains):
+            ids = self.prompt_ids[j * P : (j + 1) * P]
+
+            def build(j=j):
+                payload = {
+                    layer: (
+                        self._pending[(layer, "keys")][j],
+                        self._pending[(layer, "values")][j],
+                    )
+                    for layer in range(L)
+                }
+                nbytes = sum(
+                    self.backend.segment_nbytes(seg)
+                    for pair in payload.values()
+                    for seg in pair
+                )
+                return payload, nbytes, P * self.backend.per_token_fp16_nbytes
+
+            page, _shared = self.pool.acquire(chain, ids, build)
+            self.pages.append(page)
+        self._init_layer_state()
+        tail_tokens = len(self.prompt_ids) - self._num_prompt_pages * P
+        if tail_tokens:
+            tail_nbytes = sum(
+                self.backend.segment_nbytes(
+                    self._pending[(layer, side)][self._num_prompt_pages]
+                )
+                for layer in range(L)
+                for side in ("keys", "values")
+            )
+            self._unpaged_nbytes = tail_nbytes
+            self._unpaged_fp16_nbytes = (
+                tail_tokens * self.backend.per_token_fp16_nbytes
+            )
+            self.pool.reserve_private(tail_nbytes, self._unpaged_fp16_nbytes)
+        self._pending = None
+
+    # ------------------------------------------------------------------
+    # Decode appends.
+    # ------------------------------------------------------------------
+    def append_token_layer(
+        self, layer: int, k_row: np.ndarray, v_row: np.ndarray
+    ) -> None:
+        """Append one decode token's K/V rows for one layer."""
+        if self.raw_decode is not None:
+            self.raw_decode[layer]["keys"].append(
+                np.asarray(k_row, dtype=np.float32).copy()
+            )
+            self.raw_decode[layer]["values"].append(
+                np.asarray(v_row, dtype=np.float32).copy()
+            )
+        delta_nbytes, delta_fp16 = self._append_layer(layer, k_row, v_row)
+        self._unpaged_nbytes += delta_nbytes
+        self._unpaged_fp16_nbytes += delta_fp16
+        self.pool.reserve_private(delta_nbytes, delta_fp16)
+
+    def commit_token(self, token_id: int) -> None:
+        """Finish one decode token (all layers appended); page if full."""
+        self.token_ids.append(int(token_id))
+        if self.unpaged_tokens >= self.page_tokens:
+            self._pageify()
+
+    def _pageify(self) -> None:
+        """Coalesce the full tail into a page and promote it to the pool."""
+        start = self.paged_tokens
+        ids = self.token_ids[start:]
+        payload = self._collect_page_payload(start)
+        chain = chain_hash(self._last_chain, ids)
+        nbytes = self._unpaged_nbytes
+        fp16_nbytes = self._unpaged_fp16_nbytes
+        self.pool.free_private(nbytes, fp16_nbytes)
+        # Promotion moves no payload bytes (the tail was already written
+        # and the coalesce is pure bookkeeping), so it is not a write.
+        page, _shared = self.pool.acquire(
+            chain, ids, lambda: (payload, nbytes, fp16_nbytes),
+            count_write=False,
+        )
+        self.pages.append(page)
+        self._last_chain = chain
+        self._unpaged_nbytes = 0
+        self._unpaged_fp16_nbytes = 0
+
+    # ------------------------------------------------------------------
+    # Preemption and teardown.
+    # ------------------------------------------------------------------
+    def swap_out(self) -> None:
+        """Swap this request's KV out of the budget, in compressed form.
+
+        Only the bytes actually leave: decoded-segment caches (and the
+        streams themselves) are host-side state and survive untouched,
+        so re-admission decodes nothing old.
+        """
+        if not self.resident:
+            raise RuntimeError("already swapped out")
+        for page in self.pages:
+            self.pool.swap_out(page)
+        self.pool.swap_private_out(
+            self._unpaged_nbytes, self._unpaged_fp16_nbytes
+        )
+        self.resident = False
+
+    def swap_in(self) -> None:
+        if self.resident:
+            raise RuntimeError("already resident")
+        # swap_in may substitute a bit-identical page another tenant
+        # rebuilt while we were out; track whichever copy now pins us.
+        self.pages = [self.pool.swap_in(page) for page in self.pages]
+        self.pool.swap_private_in(
+            self._unpaged_nbytes, self._unpaged_fp16_nbytes
+        )
+        self.resident = True
+
+    def release(self) -> None:
+        """Drop every pool reference (request finished)."""
+        if not self.resident:
+            raise RuntimeError("release while swapped out")
+        for page in self.pages:
+            self.pool.release(page)
+        self.pool.free_private(self._unpaged_nbytes, self._unpaged_fp16_nbytes)
+        self.pages = []
+        self._unpaged_nbytes = 0
+        self._unpaged_fp16_nbytes = 0
+
+    # ------------------------------------------------------------------
+    # Storage-format hooks.
+    # ------------------------------------------------------------------
+    def _encode_prompt_side(self, layer, side, kv):
+        raise NotImplementedError
+
+    def _init_layer_state(self):
+        raise NotImplementedError
+
+    def _append_layer(self, layer, k_row, v_row):
+        raise NotImplementedError
+
+    def _collect_page_payload(self, start):
+        raise NotImplementedError
+
+    def read(self, layer: int, side: str) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def decoded_token_counters(self) -> dict:
+        """Total block-decode work across layers (zeros for fp16)."""
+        return {"keys": 0, "values": 0}
+
+
+class EccoRequestKV(RequestKV):
+    """Ecco-compressed paged KV: one KVCacheStream per layer."""
+
+    def __init__(self, backend, pool, prompt_ids, record_raw=False):
+        super().__init__(backend, pool, prompt_ids, record_raw)
+        self.streams: list[KVCacheStream] | None = None
+
+    def _codec(self, layer: int, side: str) -> KVCacheCodec:
+        key_codec, value_codec = self.backend.codecs[layer]
+        return key_codec if side == "keys" else value_codec
+
+    def _encode_prompt_side(self, layer, side, kv):
+        P = self.page_tokens
+        codec = self._codec(layer, side)
+        pair_index = 0 if side == "keys" else 1
+        segments = []
+        for j, chain in enumerate(self._page_chains):
+            chunk = kv[j * P : (j + 1) * P]
+            shared = self.pool.peek(chain)
+            if shared is not None:
+                segments.append(shared.payload[layer][pair_index])
+            else:
+                segments.append(codec.encode_tokens(chunk))
+        tail = kv[self._num_prompt_pages * P :]
+        if tail.shape[0]:
+            segments.append(codec.encode_tokens(tail))
+        return segments, codec.decode_all(segments).astype(np.float32)
+
+    def _init_layer_state(self):
+        self.streams = []
+        for layer, (key_codec, value_codec) in enumerate(self.backend.codecs):
+            stream = KVCacheStream(key_codec=key_codec, value_codec=value_codec)
+            keys = self._pending[(layer, "keys")]
+            values = self._pending[(layer, "values")]
+            for k_seg, v_seg in zip(keys, values):
+                stream.append_compressed(k_seg, v_seg)
+            self.streams.append(stream)
+
+    def _append_layer(self, layer, k_row, v_row):
+        stream = self.streams[layer]
+        before = stream.compressed_nbytes
+        stream.append(k_row, v_row)
+        delta = stream.compressed_nbytes - before
+        fp16 = (np.asarray(k_row).size + np.asarray(v_row).size) * 2
+        return delta, fp16
+
+    def _collect_page_payload(self, start):
+        return {
+            layer: stream.coalesce(start)
+            for layer, stream in enumerate(self.streams)
+        }
+
+    def read(self, layer, side):
+        stream = self.streams[layer]
+        return stream.read_keys() if side == "keys" else stream.read_values()
+
+    @property
+    def decoded_token_counters(self):
+        out = {"keys": 0, "values": 0}
+        for stream in self.streams or []:
+            out["keys"] += stream.decoded_tokens["keys"]
+            out["values"] += stream.decoded_tokens["values"]
+        return out
+
+
+class Fp16RequestKV(RequestKV):
+    """Raw fp16 paged KV — the capacity baseline."""
+
+    def __init__(self, backend, pool, prompt_ids, record_raw=False):
+        super().__init__(backend, pool, prompt_ids, record_raw)
+        self._chunks: list[dict] | None = None
+        self._paged_chunk_count = 0
+        #: Incrementally grown float32 read caches, mirroring the ecco
+        #: stream's decoded-segment cache: each read copies only the rows
+        #: appended since the previous one, not the whole history.
+        self._read_cache: list[dict] | None = None
+
+    def _encode_prompt_side(self, layer, side, kv):
+        P = self.page_tokens
+        pair_index = 0 if side == "keys" else 1
+        segments = []
+        for j, chain in enumerate(self._page_chains):
+            shared = self.pool.peek(chain)
+            if shared is not None:
+                segments.append(shared.payload[layer][pair_index])
+            else:
+                segments.append(kv[j * P : (j + 1) * P].astype(np.float16))
+        tail = kv[self._num_prompt_pages * P :]
+        if tail.shape[0]:
+            segments.append(tail.astype(np.float16))
+        decoded = np.concatenate(segments, axis=0).astype(np.float32)
+        return segments, decoded
+
+    def _init_layer_state(self):
+        self._chunks = []
+        for layer in range(self.backend.num_layers):
+            self._chunks.append(
+                {
+                    "keys": list(self._pending[(layer, "keys")]),
+                    "values": list(self._pending[(layer, "values")]),
+                }
+            )
+        self._paged_chunk_count = self._num_prompt_pages
+        self._read_cache = [
+            {"keys": None, "values": None}
+            for _ in range(self.backend.num_layers)
+        ]
+
+    def _append_layer(self, layer, k_row, v_row):
+        k16 = np.asarray(k_row, dtype=np.float16).reshape(1, -1)
+        v16 = np.asarray(v_row, dtype=np.float16).reshape(1, -1)
+        self._chunks[layer]["keys"].append(k16)
+        self._chunks[layer]["values"].append(v16)
+        nbytes = k16.nbytes + v16.nbytes
+        return nbytes, nbytes
+
+    def _collect_page_payload(self, start):
+        n = self._paged_chunk_count
+        payload = {}
+        for layer, chunks in enumerate(self._chunks):
+            merged_k = np.concatenate(chunks["keys"][n:], axis=0)
+            merged_v = np.concatenate(chunks["values"][n:], axis=0)
+            chunks["keys"][n:] = [merged_k]
+            chunks["values"][n:] = [merged_v]
+            payload[layer] = (merged_k, merged_v)
+        self._paged_chunk_count = n + 1
+        return payload
+
+    def read(self, layer, side):
+        chunks = self._chunks[layer][side]
+        cache = self._read_cache[layer][side]
+        total = sum(chunk.shape[0] for chunk in chunks)
+        cached = 0 if cache is None else cache.shape[0]
+        if cached == total:
+            return cache
+        # Fresh rows are the trailing ones; chunk rewrites (pageify) merge
+        # whole chunks without changing content, so walking back by row
+        # count always recovers exactly the unseen suffix.
+        need = total - cached
+        fresh = []
+        for chunk in reversed(chunks):
+            fresh.append(chunk)
+            need -= chunk.shape[0]
+            if need <= 0:
+                break
+        fresh.reverse()
+        fresh_rows = np.concatenate(fresh, axis=0).astype(np.float32)
+        if need < 0:
+            fresh_rows = fresh_rows[-(total - cached):]
+        cache = (
+            fresh_rows
+            if cache is None
+            else np.concatenate([cache, fresh_rows], axis=0)
+        )
+        cache.flags.writeable = False
+        self._read_cache[layer][side] = cache
+        return cache
+
+
+class EccoKVBackend:
+    """Per-layer Ecco KV codecs calibrated once per engine."""
+
+    name = "ecco"
+    request_cls = EccoRequestKV
+
+    def __init__(self, num_layers: int, d_model: int, calib):
+        self.num_layers = int(num_layers)
+        self.d_model = int(d_model)
+        self.codecs: list[tuple[KVCacheCodec, KVCacheCodec]] = []
+        for layer in range(self.num_layers):
+            pair = []
+            for side in ("k_cache", "v_cache"):
+                sample = calib.kv_samples.get(f"layers.{layer}.{side}")
+                if sample is None:
+                    raise ValueError(
+                        f"calibration has no KV sample for layer {layer} "
+                        f"{side}; run repro.llm.calibrate first"
+                    )
+                # The shared eval-layer recipe: serving codecs byte-match
+                # the ecco-stream evaluation hook's by construction.
+                pair.append(fit_kv_codec(sample))
+            self.codecs.append(tuple(pair))
+        groups_per_token = -(-self.d_model // KV_CONFIG.group_size)
+        self._side_nbytes = groups_per_token * KV_CONFIG.block_bytes
+
+    @property
+    def per_token_nbytes(self) -> int:
+        """Deterministic compressed bytes per token (K+V, all layers)."""
+        return self.num_layers * 2 * self._side_nbytes
+
+    @property
+    def per_token_fp16_nbytes(self) -> int:
+        return self.num_layers * 2 * self.d_model * 2
+
+    @staticmethod
+    def segment_nbytes(segment) -> int:
+        return int(segment.nbytes)
+
+    def create_request(self, pool, prompt_ids, record_raw=False):
+        return EccoRequestKV(self, pool, prompt_ids, record_raw)
+
+
+class Fp16KVBackend:
+    """Raw fp16 KV storage — the capacity/traffic baseline."""
+
+    name = "fp16"
+    request_cls = Fp16RequestKV
+
+    def __init__(self, num_layers: int, d_model: int, calib=None):
+        self.num_layers = int(num_layers)
+        self.d_model = int(d_model)
+
+    @property
+    def per_token_nbytes(self) -> int:
+        return self.num_layers * 2 * self.d_model * 2
+
+    @property
+    def per_token_fp16_nbytes(self) -> int:
+        return self.per_token_nbytes
+
+    @staticmethod
+    def segment_nbytes(segment) -> int:
+        return int(segment.nbytes)
+
+    def create_request(self, pool, prompt_ids, record_raw=False):
+        return Fp16RequestKV(self, pool, prompt_ids, record_raw)

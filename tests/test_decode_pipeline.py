@@ -198,7 +198,7 @@ def test_stream_reads_are_2d_and_decode_only_new_tokens(kv_codec):
     assert stream.decoded_tokens == {"keys": 12, "values": 12}
 
     # Reads must match a from-scratch decode of every segment.
-    fresh = kv_codec.decode_all(stream._key_segments)
+    fresh = kv_codec.decode_all(stream._segments["keys"])
     assert np.array_equal(stream.read_keys(), fresh)
 
     # The eviction hook drops decoded state; the next read rebuilds it.

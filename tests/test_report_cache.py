@@ -1,0 +1,56 @@
+"""The benchmark result cache must reject stale-schema entries.
+
+A cache entry written before a codec change would silently serve numbers
+the current code cannot reproduce; the schema stamp turns that into a
+recompute.  (``_report`` resolves through the ``benchmarks`` pythonpath
+entry, same as the bench suite.)
+"""
+
+import json
+
+import pytest
+
+from _report import CACHE_SCHEMA_VERSION, load_cached, results_dir, store_cached
+
+
+@pytest.fixture
+def cache_tag(tmp_path_factory):
+    tag = "test_report_cache_entry"
+    yield tag
+    path = results_dir() / "cache" / f"{tag}.json"
+    if path.exists():
+        path.unlink()
+
+
+def test_store_load_roundtrip(cache_tag):
+    store_cached(cache_tag, {"value": 41})
+    assert load_cached(cache_tag) == {"value": 41}
+    blob = json.loads((results_dir() / "cache" / f"{cache_tag}.json").read_text())
+    assert blob["schema"] == CACHE_SCHEMA_VERSION
+
+
+def test_missing_entry_is_none(cache_tag):
+    assert load_cached(cache_tag) is None
+
+
+def test_legacy_unstamped_entry_is_stale(cache_tag):
+    path = results_dir() / "cache" / f"{cache_tag}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({"value": 41}))  # pre-schema format
+    assert load_cached(cache_tag) is None
+
+
+def test_wrong_schema_version_is_stale(cache_tag):
+    path = results_dir() / "cache" / f"{cache_tag}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps({"schema": CACHE_SCHEMA_VERSION + 1, "data": {"value": 41}})
+    )
+    assert load_cached(cache_tag) is None
+
+
+def test_corrupt_entry_is_stale(cache_tag):
+    path = results_dir() / "cache" / f"{cache_tag}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("{not json")
+    assert load_cached(cache_tag) is None
