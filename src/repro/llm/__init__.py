@@ -3,7 +3,7 @@
 from .calibration import ActStats, CalibrationData, calibrate
 from .config import ModelSpec, ProxySpec, get_proxy_spec, get_spec
 from .data import TASK_NAMES, MCItem, SyntheticCorpus
-from .decode import BatchKV, decode_step
+from .decode import BatchKV, ChunkKV, decode_step, prefill_chunk
 from .eval import multiple_choice_accuracy, perplexity
 from .model import Param, ProxyModel
 from .quantize import (
@@ -20,6 +20,7 @@ __all__ = [
     "ActStats",
     "BatchKV",
     "CalibrationData",
+    "ChunkKV",
     "EccoStreamKVQuant",
     "MCItem",
     "ModelSpec",
@@ -40,6 +41,7 @@ __all__ = [
     "get_trained_model",
     "multiple_choice_accuracy",
     "perplexity",
+    "prefill_chunk",
     "quantize_model",
     "train_proxy",
 ]

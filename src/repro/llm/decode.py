@@ -24,7 +24,7 @@ import numpy as np
 
 from .model import ProxyModel, _rmsnorm, _silu, _smear_heads
 
-__all__ = ["BatchKV", "decode_step"]
+__all__ = ["BatchKV", "ChunkKV", "decode_step", "prefill_chunk"]
 
 
 class BatchKV(Protocol):
@@ -44,6 +44,117 @@ class BatchKV(Protocol):
     def read(
         self, layer: int
     ) -> tuple[list[np.ndarray], list[np.ndarray]]: ...
+
+
+class ChunkKV(Protocol):
+    """One request's KV state mid-prefill (the chunked-prefill cache).
+
+    ``append`` receives a whole chunk's key/value rows at once — gains
+    applied, pre-smear, exactly what :meth:`ProxyModel.forward` hands its
+    ``kv_quant`` hook — and must make them readable; ``read`` returns the
+    request's full decoded history *including* the chunk just appended,
+    as ``(T_total, n_heads * head_dim)`` arrays.
+    """
+
+    def append(
+        self, layer: int, keys: np.ndarray, values: np.ndarray
+    ) -> None: ...
+
+    def read(self, layer: int) -> tuple[np.ndarray, np.ndarray]: ...
+
+
+def prefill_chunk(
+    model: ProxyModel,
+    token_ids: np.ndarray,
+    start_pos: int,
+    kv: ChunkKV,
+    weights: dict | None = None,
+    act_quant=None,
+) -> np.ndarray:
+    """Ingest one prompt chunk for one request; returns (T, vocab) logits.
+
+    ``token_ids`` are the chunk's tokens and ``start_pos`` the absolute
+    position of the first one (= tokens already cached for the request).
+    Every chunk position attends causally over the stored history plus
+    the chunk's own (quantized-roundtrip) K/V — the same cache-read path
+    :func:`decode_step` uses — so ingesting a prompt in slices stores
+    byte-identical KV to the whole-prompt pass and yields the same
+    first-token logits up to float32 summation order.  ``weights`` /
+    ``act_quant`` are the usual quantization hooks.
+    """
+    spec = model.spec
+    token_ids = np.asarray(token_ids, dtype=np.int64).reshape(-1)
+    T = token_ids.size
+    if T == 0:
+        raise ValueError("empty prefill chunk")
+    start_pos = int(start_pos)
+    H, hd = spec.n_heads, spec.head_dim
+    aq = act_quant if act_quant is not None else (lambda x: x)
+
+    half = hd // 2
+    freqs = 10000.0 ** (-np.arange(half) / half)
+    positions = start_pos + np.arange(T)
+    angles = positions[:, None] * freqs[None, :]
+    cos = np.cos(angles).astype(np.float32)[:, None, :]  # (T, 1, half)
+    sin = np.sin(angles).astype(np.float32)[:, None, :]
+    inv_sqrt = np.float32(1.0 / np.sqrt(hd))
+
+    def rope(t: np.ndarray) -> np.ndarray:
+        """Rotate (T, H, hd) at the chunk's absolute positions."""
+        t1, t2 = t[..., :half], t[..., half:]
+        return np.concatenate(
+            [t1 * cos - t2 * sin, t1 * sin + t2 * cos], axis=-1
+        )
+
+    # Causal mask: chunk position t (absolute start_pos + t) may attend
+    # to every stored token plus chunk positions <= t.
+    total = start_pos + T
+    key_pos = np.arange(total)[None, :]
+    mask = np.where(
+        key_pos > (start_pos + np.arange(T))[:, None], -np.inf, 0.0
+    ).astype(np.float32)
+
+    x = model.params["embed"].data[token_ids]  # (T, d)
+    for layer in range(spec.num_layers):
+        p = f"layers.{layer}."
+        xn, _ = _rmsnorm(x)
+        xq = aq(xn)
+        q = xq @ model._weight(p + "attn.wq", weights).T
+        k = xq @ model._weight(p + "attn.wk", weights).T
+        v = xq @ model._weight(p + "attn.wv", weights).T
+        q = rope(q.reshape(T, H, hd))
+        k = rope(k.reshape(T, H, hd))
+        v = v.reshape(T, H, hd)
+        # The cache path: K/V stored (and compressed) with the fixed
+        # per-channel gains; q and the wo input compensate exactly.
+        gk = model.k_gain[layer].reshape(1, H, hd)
+        gv = model.v_gain[layer].reshape(1, H, hd)
+        q = (q / gk).astype(np.float32)
+        k = (k * gk).astype(np.float32)
+        v = (v * gv).astype(np.float32)
+        kv.append(layer, k.reshape(T, H * hd), v.reshape(T, H * hd))
+        keys, values = kv.read(layer)
+        kh = keys.reshape(-1, H, hd).transpose(1, 0, 2)  # (H, total, hd)
+        kh = _smear_heads(kh[None])[0]  # smear on read, like decode_step
+        vh = values.reshape(-1, H, hd).transpose(1, 0, 2)
+        scores = np.einsum("thd,hsd->hts", q, kh) * inv_sqrt
+        scores += mask[None]
+        scores -= scores.max(axis=-1, keepdims=True)
+        probs = np.exp(scores)
+        probs /= probs.sum(axis=-1, keepdims=True)
+        ctx = np.einsum("hts,hsd->thd", probs, vh).reshape(T, H * hd)
+        ctx = ctx / gv.reshape(1, H * hd)
+        x = x + aq(ctx) @ model._weight(p + "attn.wo", weights).T
+
+        xn2, _ = _rmsnorm(x)
+        xq2 = aq(xn2)
+        g = xq2 @ model._weight(p + "ffn.wg", weights).T
+        u = xq2 @ model._weight(p + "ffn.wu", weights).T
+        h = _silu(g) * u
+        x = x + aq(h) @ model._weight(p + "ffn.wd", weights).T
+
+    xf, _ = _rmsnorm(x)
+    return xf @ model.params["embed"].data.T
 
 
 def decode_step(

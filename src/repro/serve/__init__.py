@@ -2,17 +2,35 @@
 
 Turns the codec layers below into a multi-tenant serving system: Ecco's
 capacity win becomes admitted-requests-per-byte-budget, and its
-bandwidth win becomes modeled KV-read traffic per decode step.
+bandwidth win becomes modeled KV-read traffic per decode step.  On top
+of the single engine sit trace-driven workloads (``repro.serve.workload``
+— seeded Poisson/bursty/diurnal arrivals over chat/RAG/agent scenario
+mixes, replayed on a virtual clock) and a multi-replica front-end
+(``repro.serve.cluster`` — prefix-affinity + least-active-bytes routing
+with aggregated metrics).
 """
 
+from .cluster import ClusterRouter
 from .engine import ServingEngine
 from .metrics import EngineMetrics, decode_step_sectors
 from .pool import KVPage, PagedKVPool, chain_hash
 from .request import Request, RequestMetrics, RequestState
 from .scheduler import ContinuousBatchingScheduler
 from .storage import EccoKVBackend, Fp16KVBackend, RequestKV
+from .workload import (
+    StepCostModel,
+    TraceRequest,
+    VirtualClock,
+    WorkloadConfig,
+    bursty_arrivals,
+    diurnal_arrivals,
+    generate_trace,
+    poisson_arrivals,
+    replay_trace,
+)
 
 __all__ = [
+    "ClusterRouter",
     "ContinuousBatchingScheduler",
     "EccoKVBackend",
     "EngineMetrics",
@@ -24,6 +42,15 @@ __all__ = [
     "RequestMetrics",
     "RequestState",
     "ServingEngine",
+    "StepCostModel",
+    "TraceRequest",
+    "VirtualClock",
+    "WorkloadConfig",
+    "bursty_arrivals",
     "chain_hash",
     "decode_step_sectors",
+    "diurnal_arrivals",
+    "generate_trace",
+    "poisson_arrivals",
+    "replay_trace",
 ]

@@ -1,0 +1,247 @@
+"""Multi-replica serving: a front-end router over N engines.
+
+:class:`ClusterRouter` owns a set of independent
+:class:`~repro.serve.engine.ServingEngine` replicas and places every
+incoming request with **prefix-affinity + least-active-bytes** routing:
+the first pages of the prompt hash to the replica that last served that
+prefix (so its prefix cache — shared system prompts, agent-loop
+contexts — actually gets hit), falling back to the replica with the
+fewest committed-plus-queued KV bytes, and overriding affinity when the
+sticky replica is more loaded than the lightest one by more than
+``imbalance_factor`` (bounded stickiness: a hot prefix cannot melt one
+replica while others idle).
+
+``step()`` advances every replica one scheduler iteration and
+``report()`` aggregates the per-replica :class:`EngineMetrics`
+summaries into cluster totals, so the same acceptance numbers (TTFT,
+budget invariants, modeled traffic) exist at cluster scope.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .engine import ServingEngine
+from .pool import ROOT_CHAIN, chain_hash
+from .request import Request
+
+__all__ = ["ClusterRouter"]
+
+
+class ClusterRouter:
+    """Prefix-affinity + least-loaded routing over engine replicas."""
+
+    def __init__(
+        self,
+        engines: list[ServingEngine],
+        *,
+        affinity_pages: int = 1,
+        imbalance_factor: float = 2.0,
+    ):
+        if not engines:
+            raise ValueError("a cluster needs at least one engine replica")
+        page_tokens = {engine.pool.page_tokens for engine in engines}
+        if len(page_tokens) != 1:
+            raise ValueError(
+                f"replicas disagree on page_tokens: {sorted(page_tokens)}"
+            )
+        if affinity_pages < 1:
+            raise ValueError("affinity_pages must be >= 1")
+        if imbalance_factor < 1.0:
+            raise ValueError("imbalance_factor must be >= 1.0")
+        self.engines = list(engines)
+        self.page_tokens = page_tokens.pop()
+        self.affinity_pages = int(affinity_pages)
+        self.imbalance_factor = float(imbalance_factor)
+        self._affinity: dict[str, int] = {}
+        self._used_ids: set[str] = set()
+        self._next_request = 0
+        self.stats = {
+            "routed": [0] * len(self.engines),
+            "affinity_hits": 0,
+            "affinity_overrides": 0,
+        }
+        #: Per-replica step compositions from the most recent ``step()``
+        #: — replicas run concurrently, so a replay cost model charges
+        #: the *slowest* replica, not the sum.
+        self.last_step: list[dict] = [dict(e.last_step) for e in self.engines]
+
+    # ------------------------------------------------------------------
+    # Routing.
+    # ------------------------------------------------------------------
+    def _prefix_key(self, prompt: np.ndarray) -> str | None:
+        """The page hash chain of the prompt's first ``affinity_pages``
+        pages — the identity prefix sharing keys on — or ``None`` for a
+        sub-page prompt."""
+        P = self.page_tokens
+        pages = min(self.affinity_pages, len(prompt) // P)
+        if pages == 0:
+            return None
+        chain = ROOT_CHAIN
+        for j in range(pages):
+            chain = chain_hash(chain, prompt[j * P : (j + 1) * P])
+        return chain
+
+    def _load(self, index: int) -> int:
+        """Committed + queued KV bytes on one replica: what its pool
+        holds for active requests now, plus what its waiting and swapped
+        queues will claim."""
+        engine = self.engines[index]
+        per_token = engine.backend.per_token_nbytes
+        queued = sum(
+            request.prompt_len * per_token
+            for request in engine.scheduler.waiting
+        )
+        swapped = sum(
+            request.kv.logical_nbytes
+            for request in engine.scheduler.swapped
+        )
+        return engine.pool.bytes_active + queued + swapped
+
+    def _route(self, prompt: np.ndarray) -> tuple[int, str | None, str]:
+        """Pick a replica; pure decision, no state change.
+
+        Returns ``(index, prefix_key, outcome)`` where outcome is one
+        of ``"hit"`` (sticky replica used), ``"override"`` (sticky
+        replica too loaded, rerouted) or ``"miss"`` — the caller
+        commits the affinity map and counters only once the request is
+        actually accepted, so rejected traffic cannot skew routing.
+        """
+        loads = [self._load(i) for i in range(len(self.engines))]
+        lightest = int(np.argmin(loads))
+        key = self._prefix_key(prompt)
+        if key is None:
+            return lightest, None, "miss"
+        sticky = self._affinity.get(key)
+        if sticky is not None:
+            # Bounded stickiness: a shared prefix stays on its replica
+            # until that replica is disproportionately loaded.
+            if loads[sticky] <= self.imbalance_factor * max(
+                loads[lightest], 1
+            ):
+                return sticky, key, "hit"
+            return lightest, key, "override"
+        return lightest, key, "miss"
+
+    def submit(
+        self,
+        prompt: np.ndarray,
+        max_new_tokens: int,
+        request_id: str | None = None,
+        eos_token: int | None = None,
+    ) -> Request:
+        """Place one request on a replica; returns the engine Request.
+
+        Request IDs are unique cluster-wide: caller-supplied duplicates
+        are rejected here (each engine only checks its own namespace,
+        and routing would otherwise happily split a duplicate across
+        replicas), and auto-generated IDs are minted by the cluster so
+        two replicas never both hand out ``req-0``.  The chosen replica
+        index is recorded on the request as ``request.replica`` for
+        report attribution.
+        """
+        if request_id is not None and request_id in self._used_ids:
+            raise ValueError(f"duplicate request_id {request_id!r}")
+        prompt = np.asarray(prompt, dtype=np.int64).reshape(-1)
+        index, key, outcome = self._route(prompt)
+        auto = request_id is None
+        if auto:
+            candidate = self._next_request
+            while f"req-{candidate}" in self._used_ids:
+                candidate += 1
+            request_id = f"req-{candidate}"
+        request = self.engines[index].submit(
+            prompt, max_new_tokens, request_id=request_id, eos_token=eos_token
+        )
+        # Only an accepted request updates IDs, routing state and stats.
+        if auto:
+            self._next_request = candidate + 1
+        self._used_ids.add(request.request_id)
+        if outcome == "hit":
+            self.stats["affinity_hits"] += 1
+        else:
+            if outcome == "override":
+                self.stats["affinity_overrides"] += 1
+            if key is not None:
+                self._affinity[key] = index
+        request.replica = index
+        self.stats["routed"][index] += 1
+        return request
+
+    # ------------------------------------------------------------------
+    # The cluster step loop.
+    # ------------------------------------------------------------------
+    @property
+    def has_work(self) -> bool:
+        return any(engine.has_work for engine in self.engines)
+
+    def step(self) -> int:
+        """Advance every replica one iteration; returns tokens processed
+        across the cluster."""
+        tokens = sum(engine.step() for engine in self.engines)
+        self.last_step = [dict(engine.last_step) for engine in self.engines]
+        return tokens
+
+    def run(self, max_steps: int = 100_000) -> dict:
+        """Drive ``step()`` until every replica drains."""
+        clock = self.engines[0].clock
+        start = clock()
+        steps = 0
+        while self.has_work:
+            if steps >= max_steps:
+                raise RuntimeError(
+                    f"cluster did not drain in {max_steps} steps"
+                )
+            self.step()
+            steps += 1
+        return self.report(clock() - start)
+
+    # ------------------------------------------------------------------
+    # Aggregated metrics.
+    # ------------------------------------------------------------------
+    def report(self, elapsed_s: float) -> dict:
+        """Cluster totals + the per-replica engine reports."""
+        replicas = [
+            engine.report(elapsed_s) for engine in self.engines
+        ]
+        requests = [r for e in self.engines for r in e.requests]
+        ttfts = [
+            r.metrics.ttft_s for r in requests if r.metrics.ttft_s is not None
+        ]
+        summed = {
+            key: sum(rep[key] for rep in replicas)
+            for key in (
+                "requests",
+                "finished",
+                "tokens_generated",
+                "prefills",
+                "decode_steps",
+                "decode_tokens",
+                "prefill_chunks",
+                "chunked_prefill_tokens",
+                "prefill_stalls",
+                "hol_blocked_steps",
+                "hol_bypasses",
+                "preemptions",
+                "modeled_kv_read_bytes",
+                "modeled_kv_read_fp16_bytes",
+                "modeled_sectors",
+            )
+        }
+        overruns = sum(
+            rep["pool"]["budget_overruns"] for rep in replicas
+        )
+        return {
+            "replicas": len(self.engines),
+            "elapsed_s": elapsed_s,
+            **summed,
+            "ttft_s_mean": float(np.mean(ttfts)) if ttfts else None,
+            "ttft_s_max": float(np.max(ttfts)) if ttfts else None,
+            "budget_overruns": overruns,
+            "routing": {
+                "routed": list(self.stats["routed"]),
+                "affinity_hits": self.stats["affinity_hits"],
+                "affinity_overrides": self.stats["affinity_overrides"],
+            },
+            "per_replica": replicas,
+        }

@@ -3,12 +3,17 @@
 One :class:`ServingEngine` owns a proxy model, a storage backend (Ecco
 blocks or fp16), a byte-budgeted :class:`~repro.serve.pool.PagedKVPool`
 and a :class:`~repro.serve.scheduler.ContinuousBatchingScheduler`.  Each
-``step()`` interleaves admission (swapped victims first, then new
-prefills while the pool has headroom) with one batched decode over every
-running request via :func:`repro.llm.decode_step`; when the next step's
-KV growth would not fit the budget, the youngest request is preempted —
-its pages swap out *in compressed form* and its decoded-segment caches
-stay, so re-admission costs swap traffic but zero re-decode.
+``step()`` draws from one token budget: every running request decodes
+one token, and whatever remains goes to prompt ingestion — whole-prompt
+prefills by default, or page-aligned chunks interleaved with decode
+steps when ``prefill_chunk_tokens`` is set (Sarathi-style chunked
+prefill), so one long prompt no longer stalls the whole batch.  When
+the next step's KV growth would not fit the budget, the youngest
+request is preempted — its pages swap out *in compressed form* and its
+decoded-segment caches stay, so re-admission costs swap traffic but
+zero re-decode.  The pool's byte budget is a hard invariant: the engine
+verifies it after every step and fails loudly rather than silently
+exceeding it.
 """
 
 from __future__ import annotations
@@ -17,7 +22,7 @@ import time
 
 import numpy as np
 
-from repro.llm.decode import decode_step
+from repro.llm.decode import decode_step, prefill_chunk
 from repro.llm.model import ProxyModel
 
 from .metrics import EngineMetrics, decode_step_sectors
@@ -45,6 +50,19 @@ class _PoolBatchKV:
         return keys, values
 
 
+class _ChunkIngestKV:
+    """Adapter: one request's RequestKV behind the ChunkKV protocol."""
+
+    def __init__(self, kv):
+        self.kv = kv
+
+    def append(self, layer: int, keys: np.ndarray, values: np.ndarray) -> None:
+        self.kv.ingest_chunk(layer, keys, values)
+
+    def read(self, layer: int):
+        return self.kv.read(layer, "keys"), self.kv.read(layer, "values")
+
+
 class ServingEngine:
     """Multi-request serving over a byte-budgeted paged KV pool."""
 
@@ -58,6 +76,9 @@ class ServingEngine:
         page_tokens: int = 8,
         max_batch_size: int = 8,
         watermark: float = 0.05,
+        prefill_chunk_tokens: int | None = None,
+        step_token_budget: int | None = None,
+        hol_bypass_limit: int = 1,
         weights: dict | None = None,
         act_quant=None,
         record_reference: bool = False,
@@ -77,6 +98,23 @@ class ServingEngine:
         self.scheduler = ContinuousBatchingScheduler(
             max_batch_size=max_batch_size, watermark=watermark
         )
+        if prefill_chunk_tokens is not None:
+            if prefill_chunk_tokens < 1:
+                raise ValueError("prefill_chunk_tokens must be >= 1")
+            # Chunk boundaries must sit on page boundaries (that is what
+            # keeps chunked pages byte-identical to whole-prompt pages),
+            # so round the chunk size up to a whole number of pages.
+            prefill_chunk_tokens = max(
+                page_tokens,
+                -(-prefill_chunk_tokens // page_tokens) * page_tokens,
+            )
+        if step_token_budget is not None and step_token_budget < 1:
+            raise ValueError("step_token_budget must be >= 1")
+        if hol_bypass_limit < 0:
+            raise ValueError("hol_bypass_limit must be >= 0")
+        self.prefill_chunk_tokens = prefill_chunk_tokens
+        self.step_token_budget = step_token_budget
+        self.hol_bypass_limit = int(hol_bypass_limit)
         self.metrics = EngineMetrics()
         self.weights = weights
         self.act_quant = act_quant
@@ -84,6 +122,15 @@ class ServingEngine:
         self.clock = clock
         self.requests: list[Request] = []
         self._next_request = 0
+        self._used_ids: set[str] = set()
+        #: Composition of the most recent step, for replay cost models:
+        #: prompt tokens ingested, decode tokens generated, and the KV
+        #: bytes decode attention read.
+        self.last_step = {
+            "prefill_tokens": 0,
+            "decode_tokens": 0,
+            "kv_read_bytes": 0.0,
+        }
 
     # ------------------------------------------------------------------
     # Submission.
@@ -95,16 +142,20 @@ class ServingEngine:
         request_id: str | None = None,
         eos_token: int | None = None,
     ) -> Request:
-        """Queue one request; rejects requests that can never fit."""
-        if request_id is None:
-            request_id = f"req-{self._next_request}"
-        self._next_request += 1
+        """Queue one request; rejects requests that can never fit.
+
+        Caller-supplied IDs must be unique; auto-generated IDs are
+        assigned only after the request passes the budget check, so a
+        rejected or invalid request burns neither an ID nor a counter.
+        """
         request = Request(
-            request_id=request_id,
+            request_id="",
             prompt=prompt,
             max_new_tokens=max_new_tokens,
             eos_token=eos_token,
         )
+        if request_id is not None and request_id in self._used_ids:
+            raise ValueError(f"duplicate request_id {request_id!r}")
         full_bytes = (
             request.prompt_len + request.max_new_tokens
         ) * self.backend.per_token_nbytes
@@ -113,6 +164,13 @@ class ServingEngine:
                 f"request needs {full_bytes} B of KV at full length but the "
                 f"pool budget is {self.pool.byte_budget} B"
             )
+        if request_id is None:
+            while f"req-{self._next_request}" in self._used_ids:
+                self._next_request += 1
+            request_id = f"req-{self._next_request}"
+            self._next_request += 1
+        request.request_id = request_id
+        self._used_ids.add(request_id)
         request.metrics.arrival_s = self.clock()
         self.requests.append(request)
         self.scheduler.submit(request)
@@ -121,30 +179,74 @@ class ServingEngine:
     # ------------------------------------------------------------------
     # Scheduling helpers.
     # ------------------------------------------------------------------
-    def _admit(self) -> None:
+    def _growth_need(self, request: Request) -> int:
+        """Bytes a re-admitted request claims on its next step of work:
+        one decode token, or its next prefill chunk while mid-prompt."""
+        per_token = self.backend.per_token_nbytes
+        if request.prefill_done:
+            return per_token
+        remaining = request.prompt_len - request.prefill_pos
+        chunk = self.prefill_chunk_tokens or remaining
+        return min(chunk, remaining) * per_token
+
+    def _admit(self) -> int:
+        """Swapped victims first, then fresh prefills; returns the
+        prompt tokens ingested by whole-prompt (unchunked) prefills."""
         scheduler, pool = self.scheduler, self.pool
+        per_token = self.backend.per_token_nbytes
+        tokens = 0
+        head_stuck = False
         # Preempted requests first: their compressed bytes swap back in.
         while scheduler.swapped and scheduler.has_batch_room:
             request = scheduler.swapped[0]
-            need = request.kv.logical_nbytes + self.backend.per_token_nbytes
-            if need > scheduler.admission_headroom(pool) and scheduler.running:
+            need = request.kv.logical_nbytes + self._growth_need(request)
+            if need > scheduler.admission_headroom(pool) and scheduler.num_active:
+                head_stuck = True
                 break
             request.kv.swap_in()
             scheduler.activate(request, "swapped")
-        # Then fresh prefills.
-        while (
-            scheduler.waiting
-            and scheduler.has_batch_room
-            and not scheduler.swapped
-        ):
-            request = scheduler.waiting[0]
-            need = request.prompt_len * self.backend.per_token_nbytes
-            if need > scheduler.admission_headroom(pool) and scheduler.running:
+        # Then fresh prefills.  A swapped head that cannot currently fit
+        # no longer blocks the whole queue: up to ``hol_bypass_limit``
+        # fresh requests may be admitted past it per step.  The blocked
+        # condition is only real — and only counted — if there actually
+        # is fresh work queued behind the stuck head.
+        blocked = head_stuck and bool(scheduler.waiting)
+        bypassed = 0
+        while scheduler.waiting and scheduler.has_batch_room:
+            if head_stuck and bypassed >= self.hol_bypass_limit:
                 break
-            self._prefill(request)
+            if (
+                self.step_token_budget is not None
+                and self.prefill_chunk_tokens is None
+                and self.step_token_budget
+                - len(scheduler.running)
+                - tokens
+                <= 0
+            ):
+                break
+            request = scheduler.waiting[0]
+            # Unified headroom formula: the prompt plus one decode token
+            # of growth — exactly what the swapped path asks for — so a
+            # fresh admission is never immediately preempted for lack of
+            # decode headroom.
+            need = (request.prompt_len + 1) * per_token
+            if need > scheduler.admission_headroom(pool) and scheduler.num_active:
+                break
+            if self.prefill_chunk_tokens is not None:
+                self._start_chunked(request)
+            else:
+                tokens += self._prefill(request)
+            if head_stuck:
+                bypassed += 1
+                self.metrics.hol_bypasses += 1
+        if blocked:
+            self.metrics.hol_blocked_steps += 1
+        return tokens
 
-    def _prefill(self, request: Request) -> None:
-        """Admit one request: run its prompt, emit its first token."""
+    def _prefill(self, request: Request) -> int:
+        """Admit one request the unchunked way: run its whole prompt in
+        one forward pass and emit its first token.  Returns the prompt
+        tokens this cost the step."""
         request.kv = self.backend.create_request(
             self.pool, request.prompt, record_raw=self.record_reference
         )
@@ -155,8 +257,22 @@ class ServingEngine:
             kv_quant=request.kv.prefill_hook(),
         )
         request.kv.commit_prompt()
+        request.prefill_pos = request.prompt_len
+        request.metrics.prefill_chunks = 1
         self.scheduler.activate(request, "waiting")
-        first = int(np.argmax(logits[0, -1]))
+        self._emit_first_token(request, logits[0, -1])
+        return request.prompt_len
+
+    def _start_chunked(self, request: Request) -> None:
+        """Admit one request into the chunked-prefill queue."""
+        request.kv = self.backend.create_request(
+            self.pool, request.prompt, record_raw=self.record_reference
+        )
+        request.kv.begin_ingest()
+        self.scheduler.activate(request, "waiting")
+
+    def _emit_first_token(self, request: Request, last_logits) -> None:
+        first = int(np.argmax(last_logits))
         now = self.clock()
         request.generated.append(first)
         request.metrics.first_token_s = now
@@ -165,14 +281,109 @@ class ServingEngine:
         if request.finished:
             self._finish(request, now)
 
-    def _ensure_decode_capacity(self) -> None:
-        """Preempt (youngest first) until this step's KV growth fits."""
+    def _chunk_work(self, tokens_used: int) -> int:
+        """Run prefill chunks for PREFILLING requests within the step's
+        token budget; returns the prompt tokens ingested."""
         scheduler, pool = self.scheduler, self.pool
-        while len(scheduler.running) > 1:
+        per_token = self.backend.per_token_nbytes
+        page = self.pool.page_tokens
+        tokens = 0
+        for request in list(scheduler.prefilling):
+            if request.state is not RequestState.PREFILLING:
+                continue  # preempted by an older stalled chunk below
+            allowance = None
+            if self.step_token_budget is not None:
+                allowance = (
+                    self.step_token_budget
+                    - tokens_used
+                    - tokens
+                    - len(scheduler.running)
+                )
+                if allowance <= 0:
+                    break
+            remaining = request.prompt_len - request.prefill_pos
+            chunk = min(self.prefill_chunk_tokens, remaining)
+            if allowance is not None:
+                chunk = min(chunk, allowance)
+            if chunk < remaining:
+                # Mid-prompt chunks must end on a page boundary.
+                chunk = (chunk // page) * page
+                if chunk == 0:
+                    break
+            # Byte headroom for the chunk, *plus* this step's decode
+            # growth — otherwise a chunk could be ingested only for the
+            # capacity pass moments later to swap the same request
+            # straight back out.  Decoding requests are never displaced
+            # for prefill work — but younger *prefilling* requests are,
+            # which is what breaks the mutual-stall case where several
+            # long prompts were admitted together and none could
+            # otherwise finish ingesting.
+            need = (chunk + len(scheduler.running)) * per_token
+            stalled = False
+            while not pool.can_fit_with_eviction(need):
+                # Never displace a *strictly older* rival (it has more
+                # sunk work); same-instant arrivals are fair game, which
+                # keeps the oldest stalled request able to make room.
+                rivals = [
+                    r
+                    for r in scheduler.prefilling
+                    if r is not request
+                    and r.metrics.arrival_s >= request.metrics.arrival_s
+                ]
+                if not rivals:
+                    stalled = True
+                    break
+                victim = max(rivals, key=lambda r: r.metrics.arrival_s)
+                victim.kv.swap_out()
+                scheduler.preempt(victim)
+                self.metrics.preemptions += 1
+            if stalled:
+                self.metrics.prefill_stalls += 1
+                break
+            start = request.prefill_pos
+            end = start + chunk
+            request.kv.begin_chunk(start, end)
+            logits = prefill_chunk(
+                self.model,
+                request.prompt[start:end],
+                start,
+                _ChunkIngestKV(request.kv),
+                weights=self.weights,
+                act_quant=self.act_quant,
+            )
+            request.kv.commit_chunk()
+            request.prefill_pos = end
+            request.metrics.prefill_chunks += 1
+            self.metrics.prefill_chunks += 1
+            self.metrics.chunked_prefill_tokens += chunk
+            tokens += chunk
+            if request.prefill_done:
+                self.scheduler.promote(request)
+                self._emit_first_token(request, logits[-1])
+        return tokens
+
+    def _ensure_decode_capacity(self) -> None:
+        """Preempt (youngest first) until this step's KV growth fits.
+
+        Enforced down to the last running request: if even a lone
+        request's one-token growth cannot fit after preempting every
+        other active request and draining the prefix cache, the engine
+        fails loudly instead of letting the pool exceed its budget.
+        """
+        scheduler, pool = self.scheduler, self.pool
+        while True:
             need = len(scheduler.running) * self.backend.per_token_nbytes
             if pool.can_fit_with_eviction(need):
                 return
             victim = scheduler.pick_victim()
+            if victim is None:
+                raise RuntimeError(
+                    f"KV byte budget cannot absorb this step's {need} B of "
+                    f"decode growth even with a single active request "
+                    f"({pool.bytes_active} B active of "
+                    f"{pool.byte_budget} B); the budget is too small for "
+                    f"the admitted request"
+                )
             victim.kv.swap_out()
             scheduler.preempt(victim)
             self.metrics.preemptions += 1
@@ -186,10 +397,23 @@ class ServingEngine:
     # The step loop.
     # ------------------------------------------------------------------
     def step(self) -> int:
-        """One scheduler iteration; returns tokens generated this step."""
-        self._admit()
+        """One scheduler iteration; returns tokens processed this step
+        (prompt tokens ingested plus decode tokens generated)."""
+        prefill_tokens = self._admit()
+        prefill_tokens += self._chunk_work(prefill_tokens)
+        decode_tokens, kv_read = self._decode()
+        self.last_step = {
+            "prefill_tokens": prefill_tokens,
+            "decode_tokens": decode_tokens,
+            "kv_read_bytes": kv_read,
+        }
+        # The budget is a hard invariant; any drift fails here, loudly.
+        self.pool.check_budget()
+        return prefill_tokens + decode_tokens
+
+    def _decode(self) -> tuple[int, float]:
         if not self.scheduler.running:
-            return 0
+            return 0, 0.0
         self._ensure_decode_capacity()
         batch = list(self.scheduler.running)
         # Count concurrency after the capacity pass: these requests
@@ -234,7 +458,11 @@ class ServingEngine:
                 kv_read,
             ),
         )
-        return len(batch)
+        return len(batch), kv_read
+
+    @property
+    def has_work(self) -> bool:
+        return self.scheduler.has_work
 
     def run(self, max_steps: int = 100_000) -> dict:
         """Drive ``step()`` until every submitted request finishes."""

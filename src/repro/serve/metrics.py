@@ -67,6 +67,17 @@ class EngineMetrics:
     preemptions: int = 0
     #: Tokens emitted by decode steps (prefill first-tokens not included).
     decode_tokens: int = 0
+    #: Chunked-prefill work: chunks processed and prompt tokens ingested
+    #: through them (whole-prompt prefills are not counted here).
+    prefill_chunks: int = 0
+    chunked_prefill_tokens: int = 0
+    #: Steps where a chunk was ready but stalled on pool headroom.
+    prefill_stalls: int = 0
+    #: Steps where the swapped queue's head could not re-admit and was
+    #: blocking fresh admissions (the head-of-line condition), and fresh
+    #: requests admitted past it under the bounded bypass.
+    hol_blocked_steps: int = 0
+    hol_bypasses: int = 0
     peak_concurrency: int = 0
     batch_occupancy: list[int] = field(default_factory=list)
     modeled_sectors: float = 0.0
@@ -114,6 +125,11 @@ class EngineMetrics:
             "prefills": self.prefills,
             "decode_steps": self.decode_steps,
             "decode_tokens": self.decode_tokens,
+            "prefill_chunks": self.prefill_chunks,
+            "chunked_prefill_tokens": self.chunked_prefill_tokens,
+            "prefill_stalls": self.prefill_stalls,
+            "hol_blocked_steps": self.hol_blocked_steps,
+            "hol_bypasses": self.hol_bypasses,
             "preemptions": self.preemptions,
             "peak_concurrency": self.peak_concurrency,
             "mean_batch_occupancy": (

@@ -107,6 +107,12 @@ class PagedKVPool:
             "swap_in_bytes": 0,
             "peak_bytes_resident": 0,
             "peak_fp16_bytes_resident": 0,
+            # Budget-invariant violations: any allocation that left
+            # bytes_resident above byte_budget.  The engine enforces the
+            # budget before every step, so these must stay zero; a
+            # non-zero count in snapshot() is a loud accounting bug.
+            "budget_overruns": 0,
+            "max_overrun_bytes": 0,
         }
 
     # ------------------------------------------------------------------
@@ -148,6 +154,28 @@ class PagedKVPool:
         self.stats["peak_fp16_bytes_resident"] = max(
             self.stats["peak_fp16_bytes_resident"], self.fp16_bytes_resident
         )
+        overrun = self.bytes_resident - self.byte_budget
+        if overrun > 0:
+            self.stats["budget_overruns"] += 1
+            self.stats["max_overrun_bytes"] = max(
+                self.stats["max_overrun_bytes"], overrun
+            )
+
+    def check_budget(self) -> None:
+        """Raise if resident bytes exceed the budget (defense in depth).
+
+        The scheduler's admission and capacity passes are supposed to
+        make this impossible; calling it after every engine step turns
+        any accounting drift into an immediate, attributable failure
+        instead of silently growing memory.
+        """
+        if self.bytes_resident > self.byte_budget:
+            raise RuntimeError(
+                f"KV pool over budget: {self.bytes_resident} B resident "
+                f"vs a {self.byte_budget} B budget "
+                f"({self.stats['budget_overruns']} overrun allocations, "
+                f"worst {self.stats['max_overrun_bytes']} B)"
+            )
 
     # ------------------------------------------------------------------
     # Pages: acquire / release / swap.

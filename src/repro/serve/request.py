@@ -11,10 +11,11 @@ import numpy as np
 class RequestState(enum.Enum):
     """Where a request sits in the continuous-batching lifecycle."""
 
-    WAITING = "waiting"    # submitted, KV not yet allocated
-    RUNNING = "running"    # in the decode batch, KV resident
-    SWAPPED = "swapped"    # preempted; KV swapped out in compressed form
-    FINISHED = "finished"  # done; KV released
+    WAITING = "waiting"        # submitted, KV not yet allocated
+    PREFILLING = "prefilling"  # admitted; prompt ingested chunk by chunk
+    RUNNING = "running"        # in the decode batch, KV resident
+    SWAPPED = "swapped"        # preempted; KV swapped out in compressed form
+    FINISHED = "finished"      # done; KV released
 
 
 @dataclass
@@ -27,6 +28,9 @@ class RequestMetrics:
     #: Timestamp of every generated token (the first is the prefill token).
     token_s: list[float] = field(default_factory=list)
     preemptions: int = 0
+    #: Prefill chunks this request's prompt was ingested in (1 = whole
+    #: prompt in one pass, the unchunked path).
+    prefill_chunks: int = 0
 
     @property
     def ttft_s(self) -> float | None:
@@ -66,6 +70,12 @@ class Request:
     metrics: RequestMetrics = field(default_factory=RequestMetrics)
     #: Paged KV state; attached by the engine at admission.
     kv: object | None = None
+    #: Prompt tokens ingested so far (chunked prefill); equals
+    #: ``prompt_len`` once the prompt is fully in the cache.
+    prefill_pos: int = 0
+    #: Replica index, set by the cluster router when it places the
+    #: request; ``None`` on a single-engine run.
+    replica: int | None = None
 
     def __post_init__(self) -> None:
         self.prompt = np.asarray(self.prompt, dtype=np.int64).reshape(-1)
@@ -82,6 +92,11 @@ class Request:
     def num_tokens(self) -> int:
         """Prompt plus generated tokens so far."""
         return self.prompt_len + len(self.generated)
+
+    @property
+    def prefill_done(self) -> bool:
+        """True once every prompt token has been ingested into the KV."""
+        return self.prefill_pos >= self.prompt_len
 
     @property
     def finished(self) -> bool:

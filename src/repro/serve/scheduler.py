@@ -5,6 +5,19 @@ preempted requests re-admitted before new ones (vLLM's recompute-free
 ordering — cheap here because victims swap out in compressed form and
 keep their decoded caches), and youngest-first victim selection so the
 requests that have consumed the least work are the ones displaced.
+
+Two queues hold admitted requests: ``running`` (prompt fully ingested,
+decoding one token per step) and ``prefilling`` (admitted, prompt being
+ingested in page-aligned chunks interleaved with decode steps — the
+Sarathi-style chunked-prefill path).  Both count against
+``max_batch_size``; a request moves from ``prefilling`` to ``running``
+the step its final chunk lands and its first token is emitted.
+
+One head-of-line refinement over plain FCFS: a swapped request whose
+re-admission cannot currently fit no longer freezes the whole fresh
+queue — the engine may admit a bounded number of fresh requests past it
+per step (``hol_bypass_limit``), counting every blocked step so the
+policy cost is visible in the metrics.
 """
 
 from __future__ import annotations
@@ -28,16 +41,24 @@ class ContinuousBatchingScheduler:
         self.max_batch_size = int(max_batch_size)
         self.watermark = float(watermark)
         self.waiting: deque[Request] = deque()
+        self.prefilling: list[Request] = []
         self.running: list[Request] = []
         self.swapped: deque[Request] = deque()
 
     @property
     def has_work(self) -> bool:
-        return bool(self.waiting or self.running or self.swapped)
+        return bool(
+            self.waiting or self.prefilling or self.running or self.swapped
+        )
+
+    @property
+    def num_active(self) -> int:
+        """Requests holding resident KV (decoding or mid-prefill)."""
+        return len(self.running) + len(self.prefilling)
 
     @property
     def has_batch_room(self) -> bool:
-        return len(self.running) < self.max_batch_size
+        return self.num_active < self.max_batch_size
 
     def submit(self, request: Request) -> None:
         request.state = RequestState.WAITING
@@ -52,14 +73,31 @@ class ContinuousBatchingScheduler:
         return ceiling - pool.bytes_active
 
     def activate(self, request: Request, source: str) -> None:
-        """Move a request from ``waiting``/``swapped`` into the batch."""
+        """Move a request from ``waiting``/``swapped`` into the batch.
+
+        A request whose prompt is not fully ingested yet lands in
+        ``prefilling``; one with a complete prompt lands in ``running``.
+        """
         queue = self.waiting if source == "waiting" else self.swapped
         queue.remove(request)
+        if request.prefill_done:
+            request.state = RequestState.RUNNING
+            self.running.append(request)
+        else:
+            request.state = RequestState.PREFILLING
+            self.prefilling.append(request)
+
+    def promote(self, request: Request) -> None:
+        """Move a request whose final prefill chunk landed into decode."""
+        self.prefilling.remove(request)
         request.state = RequestState.RUNNING
         self.running.append(request)
 
     def preempt(self, request: Request) -> None:
-        self.running.remove(request)
+        if request in self.running:
+            self.running.remove(request)
+        else:
+            self.prefilling.remove(request)
         request.state = RequestState.SWAPPED
         request.metrics.preemptions += 1
         # Oldest-first re-admission: victims are the youngest, so plain
@@ -70,8 +108,15 @@ class ContinuousBatchingScheduler:
         self.running.remove(request)
         request.state = RequestState.FINISHED
 
-    def pick_victim(self) -> Request:
-        """The youngest-arrival running request (least sunk work)."""
-        if not self.running:
-            raise RuntimeError("no running request to preempt")
-        return max(self.running, key=lambda r: r.metrics.arrival_s)
+    def pick_victim(self) -> Request | None:
+        """The youngest-arrival preemptible request, or ``None``.
+
+        Mid-prefill requests are displaced before decoding ones (they
+        have the least sunk work and their re-admission resumes at the
+        chunk boundary); the last active request is never a victim —
+        the engine must either run it or fail loudly.
+        """
+        if self.num_active <= 1:
+            return None
+        pool = self.prefilling or self.running
+        return max(pool, key=lambda r: r.metrics.arrival_s)

@@ -58,6 +58,8 @@ class RequestKV:
         self.pages: list[KVPage] = []
         self.resident = True
         self._pending: dict | None = {}
+        self._chunk_bounds: tuple[int, int] | None = None
+        self._chunk_segments: dict[int, tuple[list, list]] = {}
         self._unpaged_nbytes = 0
         self._unpaged_fp16_nbytes = 0
         # Page hash chain over the prompt's full pages.
@@ -128,6 +130,33 @@ class RequestKV:
             return decoded
         return hook
 
+    def _acquire_prompt_page(self, j: int, payload_for) -> None:
+        """Acquire prompt page ``j`` — shared on a chain hit, otherwise
+        built from ``payload_for(layer) -> (k_seg, v_seg)``."""
+        P = self.page_tokens
+        L = self.backend.num_layers
+        ids = self.prompt_ids[j * P : (j + 1) * P]
+
+        def build():
+            payload = {layer: payload_for(layer) for layer in range(L)}
+            nbytes = sum(
+                self.backend.segment_nbytes(seg)
+                for pair in payload.values()
+                for seg in pair
+            )
+            return payload, nbytes, P * self.backend.per_token_fp16_nbytes
+
+        page, _shared = self.pool.acquire(self._page_chains[j], ids, build)
+        self.pages.append(page)
+
+    def _reserve_tail(self, tail_tokens: int, tail_nbytes: int) -> None:
+        """Account the prompt's sub-page tail as a private reservation."""
+        self._unpaged_nbytes = tail_nbytes
+        self._unpaged_fp16_nbytes = (
+            tail_tokens * self.backend.per_token_fp16_nbytes
+        )
+        self.pool.reserve_private(tail_nbytes, self._unpaged_fp16_nbytes)
+
     def commit_prompt(self) -> None:
         """Promote the captured prompt KV into pool pages + tail state."""
         if self._pending is None:
@@ -135,26 +164,14 @@ class RequestKV:
         self.token_ids = list(self.prompt_ids)
         L = self.backend.num_layers
         P = self.page_tokens
-        for j, chain in enumerate(self._page_chains):
-            ids = self.prompt_ids[j * P : (j + 1) * P]
-
-            def build(j=j):
-                payload = {
-                    layer: (
-                        self._pending[(layer, "keys")][j],
-                        self._pending[(layer, "values")][j],
-                    )
-                    for layer in range(L)
-                }
-                nbytes = sum(
-                    self.backend.segment_nbytes(seg)
-                    for pair in payload.values()
-                    for seg in pair
-                )
-                return payload, nbytes, P * self.backend.per_token_fp16_nbytes
-
-            page, _shared = self.pool.acquire(chain, ids, build)
-            self.pages.append(page)
+        for j in range(self._num_prompt_pages):
+            self._acquire_prompt_page(
+                j,
+                lambda layer, j=j: (
+                    self._pending[(layer, "keys")][j],
+                    self._pending[(layer, "values")][j],
+                ),
+            )
         self._init_layer_state()
         tail_tokens = len(self.prompt_ids) - self._num_prompt_pages * P
         if tail_tokens:
@@ -165,12 +182,137 @@ class RequestKV:
                 for layer in range(L)
                 for side in ("keys", "values")
             )
-            self._unpaged_nbytes = tail_nbytes
-            self._unpaged_fp16_nbytes = (
-                tail_tokens * self.backend.per_token_fp16_nbytes
-            )
-            self.pool.reserve_private(tail_nbytes, self._unpaged_fp16_nbytes)
+            self._reserve_tail(tail_tokens, tail_nbytes)
         self._pending = None
+
+    # ------------------------------------------------------------------
+    # Chunked prefill: page-aligned partial prompt commits.
+    # ------------------------------------------------------------------
+    def begin_ingest(self) -> None:
+        """Switch to chunk-by-chunk prompt ingestion (chunked prefill).
+
+        The whole-prompt path captures every layer through
+        :meth:`prefill_hook` and lands in one :meth:`commit_prompt`;
+        this path instead ingests page-aligned chunks — one
+        :meth:`begin_chunk` / per-layer :meth:`ingest_chunk` /
+        :meth:`commit_chunk` cycle per chunk — so a long prompt enters
+        the cache interleaved with decode steps.  Because chunk
+        boundaries sit on page boundaries and the codec plans per
+        token, the stored bytes are identical to the whole-prompt pass.
+        """
+        self._pending = None
+        self._chunk_bounds = None
+        self._chunk_segments = {}
+        self._init_layer_state_empty()
+
+    def begin_chunk(self, start: int, end: int) -> None:
+        """Open the chunk covering prompt tokens ``[start, end)``.
+
+        ``start`` must sit on a page boundary and equal the tokens
+        already ingested; ``end`` must sit on a page boundary too unless
+        it is the end of the prompt (the tail rides in the final chunk).
+        """
+        P = self.page_tokens
+        if start != self.num_tokens:
+            raise ValueError(
+                f"chunk starts at {start} but {self.num_tokens} prompt "
+                f"tokens are ingested"
+            )
+        if start % P:
+            raise ValueError(f"chunk start {start} is not page-aligned")
+        if end % P and end != len(self.prompt_ids):
+            raise ValueError(
+                f"chunk end {end} is neither page-aligned nor the "
+                f"prompt end ({len(self.prompt_ids)})"
+            )
+        if not start <= end <= len(self.prompt_ids):
+            raise ValueError(f"bad chunk bounds [{start}, {end})")
+        self._chunk_bounds = (start, end)
+        self._chunk_segments = {}
+
+    def ingest_chunk(
+        self, layer: int, k_chunk: np.ndarray, v_chunk: np.ndarray
+    ) -> None:
+        """Store one layer's K/V rows for the open chunk.
+
+        Splits the chunk into page segments (reusing a shared resident
+        page's payload instead of re-encoding on a prefix-chain hit)
+        plus a tail segment when the chunk reaches the prompt end, and
+        appends them to the layer state so attention over this request
+        immediately reads them back — pool accounting happens at
+        :meth:`commit_chunk`.
+        """
+        if self._chunk_bounds is None:
+            raise RuntimeError("no open chunk; call begin_chunk first")
+        start, end = self._chunk_bounds
+        P = self.page_tokens
+        k_chunk = np.asarray(k_chunk, dtype=np.float32)
+        v_chunk = np.asarray(v_chunk, dtype=np.float32)
+        if self.raw_prompt is not None:
+            for side, chunk in (("keys", k_chunk), ("values", v_chunk)):
+                held = self.raw_prompt[layer][side]
+                self.raw_prompt[layer][side] = (
+                    chunk.copy()
+                    if held is None
+                    else np.concatenate([held, chunk], axis=0)
+                )
+        k_segments: list = []
+        v_segments: list = []
+        for j in range(start // P, end // P):
+            lo, hi = j * P - start, (j + 1) * P - start
+            shared = self.pool.peek(self._page_chains[j])
+            if shared is not None:
+                k_seg, v_seg = shared.payload[layer]
+            else:
+                k_seg = self._encode_segment(layer, "keys", k_chunk[lo:hi])
+                v_seg = self._encode_segment(layer, "values", v_chunk[lo:hi])
+            k_segments.append(k_seg)
+            v_segments.append(v_seg)
+        tail = end - (end // P) * P
+        if tail:
+            k_segments.append(
+                self._encode_segment(layer, "keys", k_chunk[-tail:])
+            )
+            v_segments.append(
+                self._encode_segment(layer, "values", v_chunk[-tail:])
+            )
+        for k_seg, v_seg in zip(k_segments, v_segments):
+            self._append_segment(layer, k_seg, v_seg)
+        self._chunk_segments[layer] = (k_segments, v_segments)
+
+    def commit_chunk(self) -> None:
+        """Promote the open chunk's full pages into the pool.
+
+        Pages become shared, ref-counted pool pages (an identical
+        resident page is re-pinned instead of duplicated); a prompt
+        tail stays a private reservation exactly as the whole-prompt
+        path leaves it.
+        """
+        if self._chunk_bounds is None:
+            raise RuntimeError("no open chunk to commit")
+        start, end = self._chunk_bounds
+        P = self.page_tokens
+        pages = range(start // P, end // P)
+        for index, j in enumerate(pages):
+            self._acquire_prompt_page(
+                j,
+                lambda layer, index=index: (
+                    self._chunk_segments[layer][0][index],
+                    self._chunk_segments[layer][1][index],
+                ),
+            )
+        tail = end - (end // P) * P
+        if tail:
+            tail_nbytes = sum(
+                self.backend.segment_nbytes(segments[-1])
+                for pair in self._chunk_segments.values()
+                for segments in pair
+            )
+            self._reserve_tail(tail, tail_nbytes)
+        self.token_ids.extend(self.prompt_ids[start:end])
+        self._note_pages_committed(len(pages))
+        self._chunk_bounds = None
+        self._chunk_segments = {}
 
     # ------------------------------------------------------------------
     # Decode appends.
@@ -267,6 +409,21 @@ class RequestKV:
     def _init_layer_state(self):
         raise NotImplementedError
 
+    def _init_layer_state_empty(self):
+        """Create empty per-layer state for chunk-by-chunk ingestion."""
+        raise NotImplementedError
+
+    def _encode_segment(self, layer, side, rows):
+        """Encode a (tokens, dim) slice into one storage segment."""
+        raise NotImplementedError
+
+    def _append_segment(self, layer, k_seg, v_seg):
+        """Append one encoded K/V segment pair to the layer state."""
+        raise NotImplementedError
+
+    def _note_pages_committed(self, num_pages):
+        """Chunked-commit bookkeeping hook (fp16 tracks paged chunks)."""
+
     def _append_layer(self, layer, k_row, v_row):
         raise NotImplementedError
 
@@ -311,14 +468,24 @@ class EccoRequestKV(RequestKV):
         return segments, codec.decode_all(segments).astype(np.float32)
 
     def _init_layer_state(self):
-        self.streams = []
-        for layer, (key_codec, value_codec) in enumerate(self.backend.codecs):
-            stream = KVCacheStream(key_codec=key_codec, value_codec=value_codec)
+        self._init_layer_state_empty()
+        for layer, stream in enumerate(self.streams):
             keys = self._pending[(layer, "keys")]
             values = self._pending[(layer, "values")]
             for k_seg, v_seg in zip(keys, values):
                 stream.append_compressed(k_seg, v_seg)
-            self.streams.append(stream)
+
+    def _init_layer_state_empty(self):
+        self.streams = [
+            KVCacheStream(key_codec=key_codec, value_codec=value_codec)
+            for key_codec, value_codec in self.backend.codecs
+        ]
+
+    def _encode_segment(self, layer, side, rows):
+        return self._codec(layer, side).encode_tokens(rows)
+
+    def _append_segment(self, layer, k_seg, v_seg):
+        self.streams[layer].append_compressed(k_seg, v_seg)
 
     def _append_layer(self, layer, k_row, v_row):
         stream = self.streams[layer]
@@ -389,6 +556,27 @@ class Fp16RequestKV(RequestKV):
             {"keys": None, "values": None}
             for _ in range(self.backend.num_layers)
         ]
+
+    def _init_layer_state_empty(self):
+        self._chunks = [
+            {"keys": [], "values": []}
+            for _ in range(self.backend.num_layers)
+        ]
+        self._paged_chunk_count = 0
+        self._read_cache = [
+            {"keys": None, "values": None}
+            for _ in range(self.backend.num_layers)
+        ]
+
+    def _encode_segment(self, layer, side, rows):
+        return np.asarray(rows).astype(np.float16)
+
+    def _append_segment(self, layer, k_seg, v_seg):
+        self._chunks[layer]["keys"].append(k_seg)
+        self._chunks[layer]["values"].append(v_seg)
+
+    def _note_pages_committed(self, num_pages):
+        self._paged_chunk_count += num_pages
 
     def _append_layer(self, layer, k_row, v_row):
         k16 = np.asarray(k_row, dtype=np.float16).reshape(1, -1)

@@ -300,16 +300,19 @@ def test_swap_in_substitution_with_multiple_swapped_holders():
     assert pool.bytes_resident == 400
 
 
-def test_requests_with_duplicate_ids_schedule_by_identity(tiny_engine_parts):
+def test_duplicate_caller_supplied_ids_are_rejected(tiny_engine_parts):
+    """Request IDs are identities: a second submit with the same ID is a
+    loud error, not a silently ambiguous pair of requests."""
     spec, model, calib = tiny_engine_parts
     engine = ServingEngine(
         model, calib, storage="ecco", byte_budget=50_000, page_tokens=8
     )
     prompt = np.arange(10) % spec.vocab_size
     engine.submit(prompt, max_new_tokens=2, request_id="dup")
-    engine.submit(prompt, max_new_tokens=2, request_id="dup")
+    with pytest.raises(ValueError, match="duplicate request_id"):
+        engine.submit(prompt, max_new_tokens=2, request_id="dup")
     report = engine.run()
-    assert report["finished"] == 2
+    assert report["finished"] == 1
 
 
 # ----------------------------------------------------------------------
