@@ -57,6 +57,10 @@ def serve_runs(proxy_medium, calib_medium):
             page_tokens=PAGE_TOKENS,
             max_batch_size=MAX_BATCH,
             watermark=0.1,
+            # This bench isolates the storage format (and its raw-KV
+            # audit needs cold prefills); cross-request prefix reuse
+            # has its own bench, bench_session_reuse.py.
+            prefix_reuse=False,
             record_reference=True,
         )
         requests = [

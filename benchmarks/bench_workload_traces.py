@@ -68,6 +68,11 @@ def _engine(model, calib, clock, chunked: bool) -> ServingEngine:
         watermark=0.1,
         prefill_chunk_tokens=CHUNK_TOKENS if chunked else None,
         step_token_budget=STEP_TOKEN_BUDGET if chunked else None,
+        # This bench isolates chunked prefill (and its raw-KV audit
+        # needs cold prefills — the trace's shared RAG preambles would
+        # otherwise attach pages recorded by other requests); reuse has
+        # its own bench, bench_session_reuse.py.
+        prefix_reuse=False,
         record_reference=chunked,
         clock=clock,
     )

@@ -5,31 +5,40 @@ capacity win becomes admitted-requests-per-byte-budget, and its
 bandwidth win becomes modeled KV-read traffic per decode step.  On top
 of the single engine sit trace-driven workloads (``repro.serve.workload``
 — seeded Poisson/bursty/diurnal arrivals over chat/RAG/agent scenario
-mixes, replayed on a virtual clock) and a multi-replica front-end
+mixes, replayed on a virtual clock), a multi-replica front-end
 (``repro.serve.cluster`` — prefix-affinity + least-active-bytes routing
-with aggregated metrics).
+with aggregated metrics), and multi-turn sessions
+(``repro.serve.session`` — turn N+1 submits the whole conversation and
+the pool's prefix cache serves the shared history without re-encoding a
+token).
 """
 
 from .cluster import ClusterRouter
 from .engine import ServingEngine
-from .metrics import EngineMetrics, decode_step_sectors
-from .pool import KVPage, PagedKVPool, chain_hash
+from .metrics import EngineMetrics, decode_step_sectors, summarize_turns
+from .pool import BudgetExceededError, KVPage, PagedKVPool, chain_hash
 from .request import Request, RequestMetrics, RequestState
 from .scheduler import ContinuousBatchingScheduler
+from .session import Session, replay_sessions
 from .storage import EccoKVBackend, Fp16KVBackend, RequestKV
 from .workload import (
+    SessionTrace,
+    SessionTurn,
+    SessionWorkloadConfig,
     StepCostModel,
     TraceRequest,
     VirtualClock,
     WorkloadConfig,
     bursty_arrivals,
     diurnal_arrivals,
+    generate_sessions,
     generate_trace,
     poisson_arrivals,
     replay_trace,
 )
 
 __all__ = [
+    "BudgetExceededError",
     "ClusterRouter",
     "ContinuousBatchingScheduler",
     "EccoKVBackend",
@@ -42,6 +51,10 @@ __all__ = [
     "RequestMetrics",
     "RequestState",
     "ServingEngine",
+    "Session",
+    "SessionTrace",
+    "SessionTurn",
+    "SessionWorkloadConfig",
     "StepCostModel",
     "TraceRequest",
     "VirtualClock",
@@ -50,7 +63,10 @@ __all__ = [
     "chain_hash",
     "decode_step_sectors",
     "diurnal_arrivals",
+    "generate_sessions",
     "generate_trace",
     "poisson_arrivals",
+    "replay_sessions",
     "replay_trace",
+    "summarize_turns",
 ]

@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from .engine import ServingEngine
+from .metrics import ttft_split
 from .pool import ROOT_CHAIN, chain_hash
 from .request import Request
 
@@ -40,6 +41,12 @@ class ClusterRouter:
     ):
         if not engines:
             raise ValueError("a cluster needs at least one engine replica")
+        if any(getattr(engine, "step_cost", None) is not None for engine in engines):
+            raise ValueError(
+                "cluster replicas must not charge their own clock "
+                "(step_cost set on an engine would serialize concurrent "
+                "replicas); charge replay-side via replay's step_cost"
+            )
         page_tokens = {engine.pool.page_tokens for engine in engines}
         if len(page_tokens) != 1:
             raise ValueError(
@@ -54,12 +61,19 @@ class ClusterRouter:
         self.affinity_pages = int(affinity_pages)
         self.imbalance_factor = float(imbalance_factor)
         self._affinity: dict[str, int] = {}
+        #: session id -> replica.  Session affinity is *hard*: a
+        #: conversation's cached KV history exists on exactly one
+        #: replica, so rerouting a later turn would silently re-encode
+        #: everything — worse than riding out an imbalance.
+        self._sessions: dict[str, int] = {}
         self._used_ids: set[str] = set()
         self._next_request = 0
         self.stats = {
             "routed": [0] * len(self.engines),
             "affinity_hits": 0,
             "affinity_overrides": 0,
+            "session_pins": 0,
+            "session_hits": 0,
         }
         #: Per-replica step compositions from the most recent ``step()``
         #: — replicas run concurrently, so a replay cost model charges
@@ -129,6 +143,7 @@ class ClusterRouter:
         max_new_tokens: int,
         request_id: str | None = None,
         eos_token: int | None = None,
+        session_id: str | None = None,
     ) -> Request:
         """Place one request on a replica; returns the engine Request.
 
@@ -139,11 +154,22 @@ class ClusterRouter:
         two replicas never both hand out ``req-0``.  The chosen replica
         index is recorded on the request as ``request.replica`` for
         report attribution.
+
+        A ``session_id`` pins the whole conversation: its first
+        accepted turn is placed by normal prefix/load routing, every
+        later turn goes to the same replica — the only one holding the
+        session's cached KV history.
         """
         if request_id is not None and request_id in self._used_ids:
             raise ValueError(f"duplicate request_id {request_id!r}")
         prompt = np.asarray(prompt, dtype=np.int64).reshape(-1)
-        index, key, outcome = self._route(prompt)
+        pinned = (
+            self._sessions.get(session_id) if session_id is not None else None
+        )
+        if pinned is not None:
+            index, key, outcome = pinned, None, "session"
+        else:
+            index, key, outcome = self._route(prompt)
         auto = request_id is None
         if auto:
             candidate = self._next_request
@@ -151,19 +177,28 @@ class ClusterRouter:
                 candidate += 1
             request_id = f"req-{candidate}"
         request = self.engines[index].submit(
-            prompt, max_new_tokens, request_id=request_id, eos_token=eos_token
+            prompt,
+            max_new_tokens,
+            request_id=request_id,
+            eos_token=eos_token,
+            session_id=session_id,
         )
         # Only an accepted request updates IDs, routing state and stats.
         if auto:
             self._next_request = candidate + 1
         self._used_ids.add(request.request_id)
-        if outcome == "hit":
+        if outcome == "session":
+            self.stats["session_hits"] += 1
+        elif outcome == "hit":
             self.stats["affinity_hits"] += 1
         else:
             if outcome == "override":
                 self.stats["affinity_overrides"] += 1
             if key is not None:
                 self._affinity[key] = index
+        if session_id is not None and pinned is None:
+            self._sessions[session_id] = index
+            self.stats["session_pins"] += 1
         request.replica = index
         self.stats["routed"][index] += 1
         return request
@@ -205,9 +240,7 @@ class ClusterRouter:
             engine.report(elapsed_s) for engine in self.engines
         ]
         requests = [r for e in self.engines for r in e.requests]
-        ttfts = [
-            r.metrics.ttft_s for r in requests if r.metrics.ttft_s is not None
-        ]
+        ttfts, warm_ttfts, cold_ttfts = ttft_split(requests)
         summed = {
             key: sum(rep[key] for rep in replicas)
             for key in (
@@ -220,6 +253,10 @@ class ClusterRouter:
                 "prefill_chunks",
                 "chunked_prefill_tokens",
                 "prefill_stalls",
+                "warm_prefills",
+                "prefix_tokens_reused",
+                "prefix_pages_reused",
+                "prefill_forwarded_tokens",
                 "hol_blocked_steps",
                 "hol_bypasses",
                 "preemptions",
@@ -237,11 +274,19 @@ class ClusterRouter:
             **summed,
             "ttft_s_mean": float(np.mean(ttfts)) if ttfts else None,
             "ttft_s_max": float(np.max(ttfts)) if ttfts else None,
+            "ttft_s_mean_warm": (
+                float(np.mean(warm_ttfts)) if warm_ttfts else None
+            ),
+            "ttft_s_mean_cold": (
+                float(np.mean(cold_ttfts)) if cold_ttfts else None
+            ),
             "budget_overruns": overruns,
             "routing": {
                 "routed": list(self.stats["routed"]),
                 "affinity_hits": self.stats["affinity_hits"],
                 "affinity_overrides": self.stats["affinity_overrides"],
+                "session_pins": self.stats["session_pins"],
+                "session_hits": self.stats["session_hits"],
             },
             "per_replica": replicas,
         }

@@ -26,10 +26,11 @@ from repro.llm.decode import decode_step, prefill_chunk
 from repro.llm.model import ProxyModel
 
 from .metrics import EngineMetrics, decode_step_sectors
-from .pool import PagedKVPool
+from .pool import BudgetExceededError, PagedKVPool
 from .request import Request, RequestState
 from .scheduler import ContinuousBatchingScheduler
 from .storage import EccoKVBackend, Fp16KVBackend
+from .workload import StepCostModel
 
 __all__ = ["ServingEngine"]
 
@@ -79,6 +80,8 @@ class ServingEngine:
         prefill_chunk_tokens: int | None = None,
         step_token_budget: int | None = None,
         hol_bypass_limit: int = 1,
+        prefix_reuse: bool = True,
+        step_cost: StepCostModel | None = None,
         weights: dict | None = None,
         act_quant=None,
         record_reference: bool = False,
@@ -115,6 +118,33 @@ class ServingEngine:
         self.prefill_chunk_tokens = prefill_chunk_tokens
         self.step_token_budget = step_token_budget
         self.hol_bypass_limit = int(hol_bypass_limit)
+        #: Cross-turn/cross-request prefix reuse: at admission the pool's
+        #: hash chain is matched against the prompt and every resident
+        #: page (including promoted conversation tails) is attached
+        #: instead of re-encoded; only the unmatched suffix is forwarded.
+        #: Disable to benchmark cold-start behaviour.  CAUTION when
+        #: combining with ``record_reference``: an attached prefix has
+        #: no raw (pre-quantization) K/V to record, so ``raw_prompt``
+        #: covers only the *forwarded* suffix.  Naive whole-prompt
+        #: reference audits must either disable reuse (what
+        #: bench_serve_throughput/bench_workload_traces do) or rebuild
+        #: the reference reuse-aware by concatenating raws across the
+        #: turns that actually encoded each span (what
+        #: bench_session_reuse does).
+        self.prefix_reuse = bool(prefix_reuse)
+        #: Optional synchronous charging: when set (with a virtual
+        #: ``clock``), prefill and decode work advances the clock as it
+        #: happens, so a request's own prefill cost lands in its TTFT —
+        #: warm (reused-prefix) turns come out measurably faster than
+        #: cold ones even on an idle engine.  Replay-side charging
+        #: (``replay_trace``) remains the fused-step roofline; do not
+        #: combine the two on one engine.
+        self.step_cost = step_cost
+        if step_cost is not None and not hasattr(clock, "advance"):
+            raise ValueError(
+                "step_cost needs an advanceable clock (VirtualClock); "
+                "a wall clock cannot be charged simulated time"
+            )
         self.metrics = EngineMetrics()
         self.weights = weights
         self.act_quant = act_quant
@@ -141,18 +171,23 @@ class ServingEngine:
         max_new_tokens: int,
         request_id: str | None = None,
         eos_token: int | None = None,
+        session_id: str | None = None,
     ) -> Request:
         """Queue one request; rejects requests that can never fit.
 
         Caller-supplied IDs must be unique; auto-generated IDs are
         assigned only after the request passes the budget check, so a
         rejected or invalid request burns neither an ID nor a counter.
+        ``session_id`` tags the request as one turn of a multi-turn
+        conversation (see ``repro.serve.session``) for report
+        attribution and cluster session affinity.
         """
         request = Request(
             request_id="",
             prompt=prompt,
             max_new_tokens=max_new_tokens,
             eos_token=eos_token,
+            session_id=session_id,
         )
         if request_id is not None and request_id in self._used_ids:
             raise ValueError(f"duplicate request_id {request_id!r}")
@@ -160,7 +195,7 @@ class ServingEngine:
             request.prompt_len + request.max_new_tokens
         ) * self.backend.per_token_nbytes
         if full_bytes > self.pool.byte_budget:
-            raise ValueError(
+            raise BudgetExceededError(
                 f"request needs {full_bytes} B of KV at full length but the "
                 f"pool budget is {self.pool.byte_budget} B"
             )
@@ -243,32 +278,77 @@ class ServingEngine:
             self.metrics.hol_blocked_steps += 1
         return tokens
 
+    def _attach_prefix(self, request: Request) -> int:
+        """Attach whatever resident prefix the pool holds for this
+        prompt; records the per-request and engine-level reuse metrics.
+        Returns the attached token count (0 on a cold start)."""
+        if not self.prefix_reuse:
+            return 0
+        attached = request.kv.attach_cached_prefix()
+        if attached:
+            request.metrics.cached_tokens = attached
+            request.metrics.cached_pages = len(request.kv.pages)
+            self.metrics.warm_prefills += 1
+            self.metrics.prefix_tokens_reused += attached
+            self.metrics.prefix_pages_reused += len(request.kv.pages)
+        return attached
+
+    def _charge_prefill(self, tokens: int) -> None:
+        if self.step_cost is not None and tokens:
+            self.clock.advance(self.step_cost.prefill_s(tokens))
+
     def _prefill(self, request: Request) -> int:
-        """Admit one request the unchunked way: run its whole prompt in
-        one forward pass and emit its first token.  Returns the prompt
-        tokens this cost the step."""
+        """Admit one request the unchunked way: run its prompt in one
+        forward pass — the whole prompt on a cold start, only the
+        unmatched suffix when a cached prefix attaches — and emit its
+        first token.  Returns the prompt tokens this cost the step."""
         request.kv = self.backend.create_request(
             self.pool, request.prompt, record_raw=self.record_reference
         )
-        logits = self.model.forward(
-            request.prompt[None, :],
-            weights=self.weights,
-            act_quant=self.act_quant,
-            kv_quant=request.kv.prefill_hook(),
-        )
-        request.kv.commit_prompt()
+        attached = self._attach_prefix(request)
+        if attached:
+            # Warm start: the attached history is read straight from the
+            # cache; only the suffix runs through the model (the same
+            # stored-history attention path chunked prefill uses).
+            request.kv.begin_chunk(attached, request.prompt_len)
+            logits = prefill_chunk(
+                self.model,
+                request.prompt[attached:],
+                attached,
+                _ChunkIngestKV(request.kv),
+                weights=self.weights,
+                act_quant=self.act_quant,
+            )
+            request.kv.commit_chunk()
+            last_logits = logits[-1]
+        else:
+            logits = self.model.forward(
+                request.prompt[None, :],
+                weights=self.weights,
+                act_quant=self.act_quant,
+                kv_quant=request.kv.prefill_hook(),
+            )
+            request.kv.commit_prompt()
+            last_logits = logits[0, -1]
+        tokens = request.prompt_len - attached
         request.prefill_pos = request.prompt_len
         request.metrics.prefill_chunks = 1
+        self.metrics.prefill_forwarded_tokens += tokens
+        self._charge_prefill(tokens)
         self.scheduler.activate(request, "waiting")
-        self._emit_first_token(request, logits[0, -1])
-        return request.prompt_len
+        self._emit_first_token(request, last_logits)
+        return tokens
 
     def _start_chunked(self, request: Request) -> None:
         """Admit one request into the chunked-prefill queue."""
         request.kv = self.backend.create_request(
             self.pool, request.prompt, record_raw=self.record_reference
         )
-        request.kv.begin_ingest()
+        attached = self._attach_prefix(request)
+        if attached:
+            request.prefill_pos = attached
+        else:
+            request.kv.begin_ingest()
         self.scheduler.activate(request, "waiting")
 
     def _emit_first_token(self, request: Request, last_logits) -> None:
@@ -288,7 +368,15 @@ class ServingEngine:
         per_token = self.backend.per_token_nbytes
         page = self.pool.page_tokens
         tokens = 0
-        for request in list(scheduler.prefilling):
+        # Oldest first — by *arrival*, not queue insertion order (swap
+        # round-trips reorder the queue).  The stall policy below lets a
+        # stalled request displace only younger rivals, so the oldest
+        # must get first claim on headroom or two mutually-stalled
+        # prefills can deadlock: a younger head stalls, breaks the loop,
+        # and the older request that could preempt it never runs.
+        for request in sorted(
+            scheduler.prefilling, key=lambda r: r.metrics.arrival_s
+        ):
             if request.state is not RequestState.PREFILLING:
                 continue  # preempted by an older stalled chunk below
             allowance = None
@@ -306,8 +394,11 @@ class ServingEngine:
             if allowance is not None:
                 chunk = min(chunk, allowance)
             if chunk < remaining:
-                # Mid-prompt chunks must end on a page boundary.
-                chunk = (chunk // page) * page
+                # Mid-prompt chunks must end on a page boundary — except
+                # for warm requests, whose attached prefix may end
+                # mid-page (their tail is promoted whole at release).
+                align = request.kv.chunk_align
+                chunk = (chunk // align) * align
                 if chunk == 0:
                     break
             # Byte headroom for the chunk, *plus* this step's decode
@@ -356,6 +447,8 @@ class ServingEngine:
             request.metrics.prefill_chunks += 1
             self.metrics.prefill_chunks += 1
             self.metrics.chunked_prefill_tokens += chunk
+            self.metrics.prefill_forwarded_tokens += chunk
+            self._charge_prefill(chunk)
             tokens += chunk
             if request.prefill_done:
                 self.scheduler.promote(request)
@@ -389,7 +482,18 @@ class ServingEngine:
             self.metrics.preemptions += 1
 
     def _finish(self, request: Request, now: float) -> None:
+        # Releasing a request can only unpin bytes (tail promotion moves
+        # private bytes into an evictable page; page releases demote to
+        # the prefix cache).  If active bytes *rose*, release leaked a
+        # pin somewhere — fail here, attributably, not at some later
+        # budget check.
+        active_before = self.pool.bytes_active
         request.kv.release()
+        if self.pool.bytes_active > active_before:
+            raise RuntimeError(
+                f"releasing {request.request_id!r} raised active KV bytes "
+                f"{active_before} -> {self.pool.bytes_active}"
+            )
         self.scheduler.finish(request)
         request.metrics.finish_s = now
 
@@ -431,14 +535,17 @@ class ServingEngine:
             weights=self.weights,
             act_quant=self.act_quant,
         )
-        now = self.clock()
         for request in batch:
             request.kv.commit_token(request.generated[-1])
-        # Traffic is accounted before finishes release any KV: attention
-        # read every request's full history this step, including the ones
-        # about to finish.
+        # Traffic is accounted after commits (so the fp16-equivalent sum
+        # counts this step's token, like the compressed sum does) but
+        # before finishes release any KV: attention read every request's
+        # full history this step, including the ones about to finish.
         kv_read = float(sum(r.kv.logical_nbytes for r in batch))
         kv_read_fp16 = float(sum(r.kv.logical_fp16_nbytes for r in batch))
+        if self.step_cost is not None:
+            self.clock.advance(self.step_cost.decode_s(len(batch), kv_read))
+        now = self.clock()
         for r, request in enumerate(batch):
             request.generated.append(int(np.argmax(logits[r])))
             request.metrics.token_s.append(now)

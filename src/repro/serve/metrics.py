@@ -18,7 +18,57 @@ import numpy as np
 
 from repro.memsys import A100, GPUParams, gemm_traffic
 
-__all__ = ["EngineMetrics", "decode_step_sectors"]
+__all__ = [
+    "EngineMetrics",
+    "decode_step_sectors",
+    "summarize_turns",
+    "ttft_split",
+]
+
+
+def ttft_split(requests) -> tuple[list[float], list[float], list[float]]:
+    """(all, warm, cold) TTFTs of ``requests`` — warm turns are the ones
+    that attached a cached prefix at admission.  One definition, shared
+    by the engine summary and the cluster report."""
+    ttfts, warm, cold = [], [], []
+    for request in requests:
+        ttft = request.metrics.ttft_s
+        if ttft is None:
+            continue
+        ttfts.append(ttft)
+        (warm if request.metrics.cached_tokens > 0 else cold).append(ttft)
+    return ttfts, warm, cold
+
+
+def summarize_turns(turn_reports: list[dict]) -> dict:
+    """Aggregate per-turn reuse records (``Session.turn_reports``).
+
+    The cross-turn reuse acceptance numbers in one place: how many turns
+    started warm, how many prompt tokens the prefix cache served vs how
+    many were re-encoded, and mean TTFT for warm turns vs cold starts.
+    """
+    turns = list(turn_reports)
+    warm = [t for t in turns if t["cached_tokens"] > 0]
+    cold = [t for t in turns if t["cached_tokens"] == 0]
+
+    def _mean_ttft(group):
+        vals = [t["ttft_s"] for t in group if t["ttft_s"] is not None]
+        return float(np.mean(vals)) if vals else None
+
+    prompt_tokens = sum(t["prompt_tokens"] for t in turns)
+    reused = sum(t["cached_tokens"] for t in turns)
+    return {
+        "turns": len(turns),
+        "warm_turns": len(warm),
+        "cold_turns": len(cold),
+        "prompt_tokens": prompt_tokens,
+        "prefix_tokens_reused": reused,
+        "prompt_tokens_reencoded": prompt_tokens - reused,
+        "prefix_pages_hit": sum(t["cached_pages"] for t in turns),
+        "reuse_fraction": reused / prompt_tokens if prompt_tokens else 0.0,
+        "ttft_s_mean_warm": _mean_ttft(warm),
+        "ttft_s_mean_cold": _mean_ttft(cold),
+    }
 
 
 def decode_step_sectors(
@@ -73,6 +123,17 @@ class EngineMetrics:
     chunked_prefill_tokens: int = 0
     #: Steps where a chunk was ready but stalled on pool headroom.
     prefill_stalls: int = 0
+    #: Cross-turn/cross-request prefix reuse: admissions that attached a
+    #: cached prefix, and the tokens/pages served straight from the
+    #: cache instead of being re-encoded.
+    warm_prefills: int = 0
+    prefix_tokens_reused: int = 0
+    prefix_pages_reused: int = 0
+    #: Prompt tokens that actually ran through a prefill forward pass
+    #: (whole-prompt, warm-suffix and chunked alike) — with
+    #: ``prefix_tokens_reused`` this decomposes every admitted prompt
+    #: into reused vs re-encoded tokens.
+    prefill_forwarded_tokens: int = 0
     #: Steps where the swapped queue's head could not re-admit and was
     #: blocking fresh admissions (the head-of-line condition), and fresh
     #: requests admitted past it under the bounded bypass.
@@ -104,9 +165,7 @@ class EngineMetrics:
     def summary(self, requests: list, pool, elapsed_s: float) -> dict:
         """The serving report: latencies, throughput, capacity, traffic."""
         finished = [r for r in requests if r.metrics.finish_s is not None]
-        ttfts = [
-            r.metrics.ttft_s for r in requests if r.metrics.ttft_s is not None
-        ]
+        ttfts, warm_ttfts, cold_ttfts = ttft_split(requests)
         e2e = [r.metrics.e2e_s for r in finished]
         inter = [
             gap for r in requests for gap in r.metrics.inter_token_s
@@ -120,6 +179,12 @@ class EngineMetrics:
             "tokens_per_s": generated / max(elapsed_s, 1e-9),
             "ttft_s_mean": float(np.mean(ttfts)) if ttfts else None,
             "ttft_s_max": float(np.max(ttfts)) if ttfts else None,
+            "ttft_s_mean_warm": (
+                float(np.mean(warm_ttfts)) if warm_ttfts else None
+            ),
+            "ttft_s_mean_cold": (
+                float(np.mean(cold_ttfts)) if cold_ttfts else None
+            ),
             "e2e_s_mean": float(np.mean(e2e)) if e2e else None,
             "inter_token_s_mean": float(np.mean(inter)) if inter else None,
             "prefills": self.prefills,
@@ -128,6 +193,10 @@ class EngineMetrics:
             "prefill_chunks": self.prefill_chunks,
             "chunked_prefill_tokens": self.chunked_prefill_tokens,
             "prefill_stalls": self.prefill_stalls,
+            "warm_prefills": self.warm_prefills,
+            "prefix_tokens_reused": self.prefix_tokens_reused,
+            "prefix_pages_reused": self.prefix_pages_reused,
+            "prefill_forwarded_tokens": self.prefill_forwarded_tokens,
             "hol_blocked_steps": self.hol_blocked_steps,
             "hol_bypasses": self.hol_bypasses,
             "preemptions": self.preemptions,

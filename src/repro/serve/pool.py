@@ -26,6 +26,13 @@ resident as an evictable LRU prefix cache, so a request arriving after
 every earlier tenant finished still shares the common prompt's pages.
 Cached pages are reclaimed lazily whenever new allocations need the
 room.
+
+Eviction is *chain-aware*: a cached page is only useful if every
+ancestor on its hash chain is still resident (a prefix-match walk
+starts at ``ROOT_CHAIN`` and descends parent to child), so reclaiming
+prefers suffix-first — the LRU page with no resident children — and,
+when a parent must go anyway, cascades through its cached descendants
+rather than stranding them as unreachable dead weight in the budget.
 """
 
 from __future__ import annotations
@@ -35,7 +42,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["KVPage", "PagedKVPool", "chain_hash"]
+__all__ = ["BudgetExceededError", "KVPage", "PagedKVPool", "chain_hash"]
+
+
+class BudgetExceededError(ValueError):
+    """A request that can never fit the pool's byte budget.
+
+    Raised at ``submit`` (the 429 of this system) — distinct from other
+    ``ValueError`` submission failures (duplicate IDs, bad arguments) so
+    trace replay can count capacity rejections without swallowing real
+    usage errors.
+    """
 
 #: The root of every page hash chain.
 ROOT_CHAIN = "root"
@@ -56,6 +73,9 @@ class KVPage:
     page_id: int
     chain: str
     token_ids: tuple
+    #: Chain of the preceding page (``ROOT_CHAIN`` for a first page);
+    #: ``chain == chain_hash(parent, token_ids)`` always holds.
+    parent: str = ROOT_CHAIN
     #: layer -> (key segment, value segment); CompressedTensor pairs in
     #: ecco mode, fp16 ndarray pairs in the baseline mode.
     payload: dict = field(default_factory=dict)
@@ -84,6 +104,9 @@ class PagedKVPool:
         self._pages: dict[int, KVPage] = {}     # resident pages by id
         self._swapped: dict[int, KVPage] = {}   # swapped-out pages by id
         self._index: dict[str, int] = {}        # chain -> resident page id
+        #: parent chain -> {child chain: resident page id} — the edges a
+        #: prefix-match walk descends and chain-aware eviction consults.
+        self._children: dict[str, dict[str, int]] = {}
         #: Ref-0 pages retained as a prefix cache, insertion-ordered = LRU.
         self._cached: dict[int, KVPage] = {}
         self._next_id = 0
@@ -95,6 +118,11 @@ class PagedKVPool:
         self.bytes_evictable = 0
         self.bytes_swapped = 0
         self.private_bytes = 0
+        #: The slice of ``bytes_swapped`` that is private-tail bytes —
+        #: kept separately so the swap-in guard is exact (checking the
+        #: aggregate would let a double swap-in hide behind other
+        #: requests' swapped pages).
+        self.private_swapped_bytes = 0
         self.stats = {
             "pages_allocated": 0,
             "pages_shared": 0,
@@ -103,6 +131,10 @@ class PagedKVPool:
             "prefix_cache_hits": 0,
             "bytes_written": 0,
             "shared_bytes_saved": 0,
+            # The same sharing measured in fp16-equivalent bytes: what the
+            # shared tokens would have cost stored uncompressed, so reports
+            # can state the capacity dividend in both units.
+            "shared_fp16_bytes_saved": 0,
             "swap_out_bytes": 0,
             "swap_in_bytes": 0,
             "peak_bytes_resident": 0,
@@ -134,16 +166,53 @@ class PagedKVPool:
         """Would ``nbytes`` fit after reclaiming the whole prefix cache?"""
         return self.bytes_active + nbytes <= self.byte_budget
 
+    def _resident_children(self, chain: str) -> list[KVPage]:
+        """Resident pages (pinned or cached) whose parent is ``chain``."""
+        return [
+            self._pages[pid]
+            for pid in self._children.get(chain, {}).values()
+            if pid in self._pages
+        ]
+
+    def _pick_eviction_victim(self) -> KVPage:
+        """Suffix-first LRU: the oldest cached page with no resident
+        children.  Chain suffixes (stale conversation tails) go before
+        the shared prefixes beneath them, so an eviction pass never
+        orphans a page that could still be hit.  If every cached page
+        still has resident children (some pinned by running requests),
+        fall back to plain LRU — the cascade below keeps the cache
+        consistent even then."""
+        for page in self._cached.values():  # insertion order = LRU
+            if not self._resident_children(page.chain):
+                return page
+        return next(iter(self._cached.values()))
+
+    def _evict_page(self, page: KVPage) -> None:
+        """Evict one cached page, cascading through its cached
+        descendants first (deepest-first): evicting a parent must never
+        leave a cached child that no prefix-match walk can reach.
+        Iterative post-order — a long conversation leaves a linear
+        cached chain far deeper than the interpreter recursion limit."""
+        stack: list[tuple[KVPage, bool]] = [(page, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                self._cached.pop(node.page_id)
+                self.bytes_evictable -= node.nbytes
+                self._unregister(node)
+                self.stats["pages_evicted"] += 1
+                self.stats["pages_freed"] += 1
+                continue
+            stack.append((node, True))
+            for child in self._resident_children(node.chain):
+                if child.page_id in self._cached:
+                    stack.append((child, False))
+
     def _evict_for(self, nbytes: int) -> None:
-        """Reclaim LRU prefix-cache pages until ``nbytes`` fits (or none
-        are left); allocation paths call this before claiming bytes."""
+        """Reclaim prefix-cache pages until ``nbytes`` fits (or none are
+        left); allocation paths call this before claiming bytes."""
         while not self.can_fit(nbytes) and self._cached:
-            page_id = next(iter(self._cached))
-            page = self._cached.pop(page_id)
-            self.bytes_evictable -= page.nbytes
-            self._unregister(page)
-            self.stats["pages_evicted"] += 1
-            self.stats["pages_freed"] += 1
+            self._evict_page(self._pick_eviction_victim())
 
     def _bump(self, nbytes: int, fp16_nbytes: int) -> None:
         self.bytes_resident += nbytes
@@ -176,6 +245,25 @@ class PagedKVPool:
                 f"({self.stats['budget_overruns']} overrun allocations, "
                 f"worst {self.stats['max_overrun_bytes']} B)"
             )
+        # Drift in the *other* direction is just as much of a bug: a
+        # negative counter means some free/swap path was paid twice and
+        # the budget invariant has silently been relaxed.
+        negatives = {
+            name: value
+            for name, value in (
+                ("bytes_resident", self.bytes_resident),
+                ("fp16_bytes_resident", self.fp16_bytes_resident),
+                ("bytes_evictable", self.bytes_evictable),
+                ("bytes_swapped", self.bytes_swapped),
+                ("private_bytes", self.private_bytes),
+                ("private_swapped_bytes", self.private_swapped_bytes),
+            )
+            if value < 0
+        }
+        if negatives:
+            raise RuntimeError(
+                f"negative KV pool byte counters (double free?): {negatives}"
+            )
 
     # ------------------------------------------------------------------
     # Pages: acquire / release / swap.
@@ -185,8 +273,43 @@ class PagedKVPool:
         page_id = self._index.get(chain)
         return None if page_id is None else self._pages[page_id]
 
+    def match_prefix(self, token_ids) -> list[KVPage]:
+        """Resident pages covering the longest prefix of ``token_ids``.
+
+        Walks the hash chain from ``ROOT_CHAIN`` parent to child — the
+        lookup the prefix cache is actually keyed on — taking at each
+        node the longest resident child whose tokens literally continue
+        the prompt.  Handles variable page sizes (a promoted
+        conversation tail is a sub-page-sized chain node), takes no
+        references, and never descends through a missing ancestor.
+        """
+        ids = [int(t) for t in np.asarray(token_ids).reshape(-1)]
+        matched: list[KVPage] = []
+        chain, pos = ROOT_CHAIN, 0
+        while pos < len(ids):
+            best = None
+            for child in self._resident_children(chain):
+                n = child.num_tokens
+                if pos + n > len(ids):
+                    continue
+                if list(child.token_ids) != ids[pos : pos + n]:
+                    continue
+                if best is None or n > best.num_tokens:
+                    best = child
+            if best is None:
+                break
+            matched.append(best)
+            pos += best.num_tokens
+            chain = best.chain
+        return matched
+
     def acquire(
-        self, chain: str, token_ids, build_payload, count_write: bool = True
+        self,
+        chain: str,
+        token_ids,
+        build_payload,
+        count_write: bool = True,
+        parent: str = ROOT_CHAIN,
     ) -> tuple[KVPage, bool]:
         """A resident page for ``chain``: shared (ref++) or newly built.
 
@@ -194,7 +317,9 @@ class PagedKVPool:
         ``(payload, nbytes, fp16_nbytes)``.  Returns ``(page, shared)``.
         Pass ``count_write=False`` when the payload bytes were already
         accounted as written (promoting a private tail into a page moves
-        no payload bytes).
+        no payload bytes).  ``parent`` is the preceding page's chain —
+        the edge prefix matching walks and chain-aware eviction cascades
+        along.
         """
         existing = self.peek(chain)
         if existing is not None:
@@ -205,12 +330,14 @@ class PagedKVPool:
             existing.ref_count += 1
             self.stats["pages_shared"] += 1
             self.stats["shared_bytes_saved"] += existing.nbytes
+            self.stats["shared_fp16_bytes_saved"] += existing.fp16_nbytes
             return existing, True
         payload, nbytes, fp16_nbytes = build_payload()
         self._evict_for(nbytes)
         page = KVPage(
             page_id=self._next_id,
             chain=chain,
+            parent=parent,
             token_ids=tuple(int(t) for t in token_ids),
             payload=payload,
             nbytes=int(nbytes),
@@ -218,33 +345,60 @@ class PagedKVPool:
             ref_count=1,
         )
         self._next_id += 1
-        self._pages[page.page_id] = page
-        self._index[chain] = page.page_id
+        self._register(page)
         self._bump(page.nbytes, page.fp16_nbytes)
         self.stats["pages_allocated"] += 1
         if count_write:
             self.stats["bytes_written"] += page.nbytes
         return page, False
 
+    def _register(self, page: KVPage) -> None:
+        self._pages[page.page_id] = page
+        self._index.setdefault(page.chain, page.page_id)
+        self._children.setdefault(page.parent, {}).setdefault(
+            page.chain, page.page_id
+        )
+
     def _unregister(self, page: KVPage) -> None:
         del self._pages[page.page_id]
         if self._index.get(page.chain) == page.page_id:
             del self._index[page.chain]
+        siblings = self._children.get(page.parent)
+        if siblings is not None and siblings.get(page.chain) == page.page_id:
+            del siblings[page.chain]
+            if not siblings:
+                del self._children[page.parent]
         self.bytes_resident -= page.nbytes
         self.fp16_bytes_resident -= page.fp16_nbytes
+
+    def _reachable(self, parent: str) -> bool:
+        """Can a prefix-match walk reach a page chained off ``parent``?"""
+        return parent == ROOT_CHAIN or parent in self._index
 
     def _maybe_demote(self, page: KVPage) -> None:
         """A page whose last resident ref just left: swap it out if a
         preempted request still needs it, otherwise retain it resident in
-        the evictable prefix cache."""
+        the evictable prefix cache — unless its parent is no longer
+        resident (no lookup could ever hit it again), in which case it is
+        freed outright instead of wasting budget as dead weight."""
         if page.ref_count > 0:
             return
         if page.page_id in self._pages:
             if page.swapped_refs > 0:
+                # The page leaves residency: cached descendants become
+                # unreachable until it swaps back in — reclaim them now
+                # rather than letting them squat in the budget.
+                for child in self._resident_children(page.chain):
+                    if child.page_id in self._cached:
+                        self._evict_page(child)
                 self._unregister(page)
                 self._swapped[page.page_id] = page
                 self.bytes_swapped += page.nbytes
                 self.stats["swap_out_bytes"] += page.nbytes
+                return
+            if not self._reachable(page.parent):
+                self._unregister(page)
+                self.stats["pages_freed"] += 1
                 return
             self._cached[page.page_id] = page
             self.bytes_evictable += page.nbytes
@@ -305,11 +459,11 @@ class PagedKVPool:
             substitute.ref_count += 1
             self.stats["pages_shared"] += 1
             self.stats["shared_bytes_saved"] += substitute.nbytes
+            self.stats["shared_fp16_bytes_saved"] += substitute.fp16_nbytes
             return substitute
         del self._swapped[page.page_id]
         self._evict_for(page.nbytes)
-        self._pages[page.page_id] = page
-        self._index.setdefault(page.chain, page.page_id)
+        self._register(page)
         self.bytes_swapped -= page.nbytes
         page.ref_count += 1
         self._bump(page.nbytes, page.fp16_nbytes)
@@ -326,7 +480,28 @@ class PagedKVPool:
         self._bump(nbytes, fp16_nbytes)
         self.stats["bytes_written"] += nbytes
 
+    def _check_private_release(self, nbytes: int, fp16_nbytes: int) -> None:
+        """Refuse to free more private bytes than are reserved.
+
+        Like :meth:`release` on a ref-0 page, a double free here is a
+        loud error: silently driving ``private_bytes`` negative would
+        *relax* the byte budget by exactly the over-freed amount.
+        """
+        if nbytes < 0 or fp16_nbytes < 0:
+            raise ValueError("private byte counts must be non-negative")
+        if nbytes > self.private_bytes:
+            raise ValueError(
+                f"freeing {nbytes} B of private KV but only "
+                f"{self.private_bytes} B are reserved (double free?)"
+            )
+        if fp16_nbytes > self.fp16_bytes_resident:
+            raise ValueError(
+                f"freeing {fp16_nbytes} fp16-equivalent B but only "
+                f"{self.fp16_bytes_resident} B are resident (double free?)"
+            )
+
     def free_private(self, nbytes: int, fp16_nbytes: int) -> None:
+        self._check_private_release(nbytes, fp16_nbytes)
         self.private_bytes -= nbytes
         self.bytes_resident -= nbytes
         self.fp16_bytes_resident -= fp16_nbytes
@@ -334,11 +509,21 @@ class PagedKVPool:
     def swap_private_out(self, nbytes: int, fp16_nbytes: int) -> None:
         self.free_private(nbytes, fp16_nbytes)
         self.bytes_swapped += nbytes
+        self.private_swapped_bytes += nbytes
         self.stats["swap_out_bytes"] += nbytes
 
     def swap_private_in(self, nbytes: int, fp16_nbytes: int) -> None:
+        if nbytes < 0 or fp16_nbytes < 0:
+            raise ValueError("private byte counts must be non-negative")
+        if nbytes > self.private_swapped_bytes:
+            raise ValueError(
+                f"swapping in {nbytes} private B but only "
+                f"{self.private_swapped_bytes} private B are swapped out "
+                f"(double swap-in?)"
+            )
         self._evict_for(nbytes)
         self.bytes_swapped -= nbytes
+        self.private_swapped_bytes -= nbytes
         self.private_bytes += nbytes
         self._bump(nbytes, fp16_nbytes)
         self.stats["swap_in_bytes"] += nbytes
@@ -358,6 +543,26 @@ class PagedKVPool:
     def num_cached_pages(self) -> int:
         return len(self._cached)
 
+    def unreachable_cached_pages(self) -> list[KVPage]:
+        """Cached pages no prefix-match walk from ``ROOT_CHAIN`` reaches.
+
+        These are pure waste — lookup can never hit them — so the
+        chain-aware eviction and demotion paths must keep this empty; a
+        non-empty return is an invariant violation tests fail on.
+        """
+        reachable = {ROOT_CHAIN}
+        frontier = [ROOT_CHAIN]
+        while frontier:
+            for child in self._resident_children(frontier.pop()):
+                if child.chain not in reachable:
+                    reachable.add(child.chain)
+                    frontier.append(child.chain)
+        return [
+            page
+            for page in self._cached.values()
+            if page.chain not in reachable
+        ]
+
     def snapshot(self) -> dict:
         """Current occupancy + lifetime counters (for reports)."""
         return {
@@ -369,6 +574,7 @@ class PagedKVPool:
             "fp16_bytes_resident": self.fp16_bytes_resident,
             "bytes_swapped": self.bytes_swapped,
             "private_bytes": self.private_bytes,
+            "private_swapped_bytes": self.private_swapped_bytes,
             "resident_pages": self.num_resident_pages,
             "swapped_pages": self.num_swapped_pages,
             "cached_pages": self.num_cached_pages,

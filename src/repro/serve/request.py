@@ -31,6 +31,11 @@ class RequestMetrics:
     #: Prefill chunks this request's prompt was ingested in (1 = whole
     #: prompt in one pass, the unchunked path).
     prefill_chunks: int = 0
+    #: Prompt tokens served straight from the prefix cache at admission
+    #: (0 = cold start), and the pages they were attached from; prompt
+    #: tokens re-encoded despite the cache = ``prompt_len - cached_tokens``.
+    cached_tokens: int = 0
+    cached_pages: int = 0
 
     @property
     def ttft_s(self) -> float | None:
@@ -76,6 +81,9 @@ class Request:
     #: Replica index, set by the cluster router when it places the
     #: request; ``None`` on a single-engine run.
     replica: int | None = None
+    #: Conversation this request is one turn of (``repro.serve.session``);
+    #: ``None`` for standalone requests.
+    session_id: str | None = None
 
     def __post_init__(self) -> None:
         self.prompt = np.asarray(self.prompt, dtype=np.int64).reshape(-1)

@@ -1,0 +1,217 @@
+"""Multi-turn sessions: cross-turn compressed-KV reuse over the engine.
+
+A :class:`Session` is one conversation against a
+:class:`~repro.serve.engine.ServingEngine` or
+:class:`~repro.serve.cluster.ClusterRouter`: turn N+1 is submitted as
+the full history (every prior prompt and every generated token) plus
+the new user text.  Because a finished request's final partial page is
+promoted into the pool's hash chain at release, the next turn's
+admission attaches the *entire* stored history — full pages and the
+promoted tail alike — re-encoding nothing and forwarding only the new
+suffix through the model.  The session itself holds no KV: reuse rides
+entirely on the pool's prefix cache, so history survives engine
+restarts of the session object, competes fairly with other tenants for
+budget, and degrades gracefully (a partially evicted history simply
+re-encodes the evicted part).
+
+On a cluster, turns carry their ``session_id`` so the router pins the
+whole conversation to one replica — the only place its cached history
+lives.
+
+:func:`replay_sessions` drives a generated
+:class:`~repro.serve.workload.SessionTrace` workload on a virtual
+clock: turn k+1 of each session is submitted once simulated time passes
+turn k's finish plus its seeded think-time gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .pool import BudgetExceededError
+from .request import Request
+from .workload import SessionTrace, StepCostModel, VirtualClock
+
+__all__ = ["Session", "replay_sessions"]
+
+
+class Session:
+    """One multi-turn conversation routed at a serving engine/cluster."""
+
+    def __init__(self, target, session_id: str, eos_token: int | None = None):
+        self.target = target
+        self.session_id = str(session_id)
+        self.eos_token = eos_token
+        #: The conversation so far: every turn's prompt delta + reply.
+        self.history = np.zeros(0, dtype=np.int64)
+        #: One engine request per submitted turn, in order.
+        self.requests: list[Request] = []
+
+    @property
+    def num_turns(self) -> int:
+        return len(self.requests)
+
+    @property
+    def active(self) -> Request | None:
+        """The in-flight turn, or ``None`` between turns."""
+        if self.requests and self.requests[-1].metrics.finish_s is None:
+            return self.requests[-1]
+        return None
+
+    def _fold_last_turn(self) -> None:
+        """Absorb the finished last turn into the history."""
+        last = self.requests[-1]
+        self.history = np.concatenate(
+            [last.prompt, np.asarray(last.generated, dtype=np.int64)]
+        )
+
+    def submit_turn(
+        self, user_tokens: np.ndarray, max_new_tokens: int
+    ) -> Request:
+        """Submit the next turn: history + new user text.
+
+        The previous turn must have finished (its reply is part of this
+        turn's prompt).  Raises whatever the target's ``submit`` raises —
+        notably :class:`~repro.serve.pool.BudgetExceededError` when the
+        grown conversation can no longer ever fit the pool budget.
+        """
+        if self.active is not None:
+            raise RuntimeError(
+                f"session {self.session_id!r}: previous turn "
+                f"{self.requests[-1].request_id!r} is still in flight"
+            )
+        if self.requests:
+            self._fold_last_turn()
+        user_tokens = np.asarray(user_tokens, dtype=np.int64).reshape(-1)
+        prompt = np.concatenate([self.history, user_tokens])
+        request = self.target.submit(
+            prompt,
+            max_new_tokens,
+            request_id=f"{self.session_id}/turn-{self.num_turns}",
+            eos_token=self.eos_token,
+            session_id=self.session_id,
+        )
+        self.requests.append(request)
+        return request
+
+    def turn_reports(self) -> list[dict]:
+        """Per-turn reuse record: pages hit, tokens re-encoded, TTFT."""
+        out = []
+        for turn, request in enumerate(self.requests):
+            m = request.metrics
+            out.append(
+                {
+                    "turn": turn,
+                    "request_id": request.request_id,
+                    "session_id": self.session_id,
+                    "prompt_tokens": request.prompt_len,
+                    "cached_tokens": m.cached_tokens,
+                    "cached_pages": m.cached_pages,
+                    "reencoded_tokens": request.prompt_len - m.cached_tokens,
+                    "generated_tokens": len(request.generated),
+                    "ttft_s": m.ttft_s,
+                    "e2e_s": m.e2e_s,
+                }
+            )
+        return out
+
+
+def replay_sessions(
+    target,
+    traces: list[SessionTrace],
+    clock: VirtualClock,
+    step_cost: StepCostModel | None = None,
+    max_steps: int = 500_000,
+) -> dict:
+    """Drive ``target`` through multi-turn session traces on a clock.
+
+    Each session's first turn arrives at its ``start_s``; turn k+1
+    arrives at turn k's finish plus the trace's seeded think-time gap.
+    Time accounting is either *synchronous* (the engine was built with
+    ``step_cost=`` and charges its own clock as work happens — leave
+    ``step_cost`` unset here) or replay-side (pass a ``step_cost``; each
+    ``target.step()`` is charged as one fused-step roofline, which is
+    also how a multi-replica cluster must be charged).  Turns the target
+    rejects outright (the grown conversation can never fit the budget)
+    abort their session and are counted.
+
+    Returns replay totals plus the live :class:`Session` objects under
+    ``"sessions"`` — feed their ``turn_reports()`` to
+    :func:`repro.serve.metrics.summarize_turns` for the reuse summary.
+    """
+    engine_charges = getattr(target, "step_cost", None) is not None
+    if step_cost is not None and engine_charges:
+        raise ValueError(
+            "target already charges its own clock (step_cost set on the "
+            "engine); passing a replay-side step_cost would double-count"
+        )
+    if step_cost is None and not engine_charges:
+        step_cost = StepCostModel()
+
+    states = [
+        {
+            "trace": trace,
+            "session": Session(target, trace.session_id),
+            "next": 0,
+            "ready_s": trace.start_s,
+            "request": None,
+        }
+        for trace in traces
+    ]
+    submitted = rejected = steps = tokens = 0
+
+    def pending(state) -> bool:
+        return state["next"] < state["trace"].num_turns
+
+    while True:
+        for state in states:
+            request = state["request"]
+            if request is not None:
+                if request.metrics.finish_s is None:
+                    continue
+                state["request"] = None
+                if pending(state):
+                    gap = state["trace"].turns[state["next"]].think_s
+                    state["ready_s"] = request.metrics.finish_s + gap
+            if pending(state) and state["ready_s"] <= clock.now_s:
+                turn = state["trace"].turns[state["next"]]
+                try:
+                    request = state["session"].submit_turn(
+                        turn.user_tokens, turn.max_new_tokens
+                    )
+                except BudgetExceededError:
+                    rejected += 1
+                    state["next"] = state["trace"].num_turns  # abort
+                else:
+                    # TTFT anchors on when the user hit enter, not on
+                    # the step boundary where the submit landed.
+                    request.metrics.arrival_s = state["ready_s"]
+                    state["request"] = request
+                    state["next"] += 1
+                    submitted += 1
+        if target.has_work:
+            if steps >= max_steps:
+                raise RuntimeError(f"replay did not drain in {max_steps} steps")
+            tokens += target.step()
+            steps += 1
+            if not engine_charges:
+                clock.advance(step_cost(target.last_step))
+        else:
+            upcoming = [
+                state["ready_s"]
+                for state in states
+                if state["request"] is None and pending(state)
+            ]
+            if not upcoming:
+                break
+            clock.jump_to(min(upcoming))
+    return {
+        "sessions": [state["session"] for state in states],
+        "num_sessions": len(states),
+        "turns_total": sum(trace.num_turns for trace in traces),
+        "turns_submitted": submitted,
+        "turns_rejected": rejected,
+        "steps": steps,
+        "tokens_processed": tokens,
+        "simulated_s": clock.now_s,
+    }

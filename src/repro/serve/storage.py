@@ -62,6 +62,13 @@ class RequestKV:
         self._chunk_segments: dict[int, tuple[list, list]] = {}
         self._unpaged_nbytes = 0
         self._unpaged_fp16_nbytes = 0
+        #: Warm (turn-continuation) mode: a cached prefix was attached,
+        #: so the rest of the prompt ingests at arbitrary boundaries as
+        #: private tail segments (promoted to a chain page at release).
+        self._warm = False
+        #: Prompt tokens served straight from the prefix cache.
+        self.attached_tokens = 0
+        self._released = False
         # Page hash chain over the prompt's full pages.
         P = self.page_tokens
         self._num_prompt_pages = len(self.prompt_ids) // P
@@ -108,6 +115,13 @@ class RequestKV:
     def logical_fp16_nbytes(self) -> int:
         return self.num_tokens * self.backend.per_token_fp16_nbytes
 
+    @property
+    def chunk_align(self) -> int:
+        """Boundary granularity mid-prompt chunks must land on: page
+        boundaries normally, any token once a cached prefix (which may
+        end mid-page) was attached."""
+        return 1 if self._warm else self.page_tokens
+
     # ------------------------------------------------------------------
     # Prefill: the object is the kv_quant hook of the prefill forward.
     # ------------------------------------------------------------------
@@ -146,7 +160,10 @@ class RequestKV:
             )
             return payload, nbytes, P * self.backend.per_token_fp16_nbytes
 
-        page, _shared = self.pool.acquire(self._page_chains[j], ids, build)
+        parent = self._page_chains[j - 1] if j else ROOT_CHAIN
+        page, _shared = self.pool.acquire(
+            self._page_chains[j], ids, build, parent=parent
+        )
         self.pages.append(page)
 
     def _reserve_tail(self, tail_tokens: int, tail_nbytes: int) -> None:
@@ -186,6 +203,53 @@ class RequestKV:
         self._pending = None
 
     # ------------------------------------------------------------------
+    # Cross-turn reuse: attach a cached prefix instead of re-encoding.
+    # ------------------------------------------------------------------
+    def attach_cached_prefix(self) -> int:
+        """Pin resident pages covering a prompt prefix; returns tokens.
+
+        Walks the pool's hash chain for the longest resident match (full
+        prompt pages *and* promoted conversation tails, so turn N+1 of a
+        chat finds everything turn N left behind), pins each page and
+        appends its payload to the layer state by reference — no forward
+        pass, no re-encode.  At least one prompt token is always left
+        unmatched (something must be forwarded to produce logits).  On a
+        match the request switches to warm ingestion: the remaining
+        suffix arrives through ``begin_chunk``/``ingest_chunk``/
+        ``commit_chunk`` at arbitrary boundaries and accumulates as the
+        private tail.  Must be called before any other ingestion;
+        returns 0 (leaving the request untouched) when nothing matches.
+        """
+        if self.token_ids or self.pages:
+            raise RuntimeError("attach_cached_prefix before any ingestion")
+        matched = self.pool.match_prefix(self.prompt_ids)
+        total = sum(page.num_tokens for page in matched)
+        while matched and total >= len(self.prompt_ids):
+            total -= matched[-1].num_tokens
+            matched.pop()
+        if not matched:
+            return 0
+        self.begin_ingest()
+        self._warm = True
+
+        def refuse_build():
+            raise AssertionError("matched page must be a shared hit")
+
+        for page in matched:
+            pinned, shared = self.pool.acquire(
+                page.chain, page.token_ids, refuse_build, parent=page.parent
+            )
+            self.pages.append(pinned)
+            for layer in range(self.backend.num_layers):
+                k_seg, v_seg = pinned.payload[layer]
+                self._append_segment(layer, k_seg, v_seg)
+            self.token_ids.extend(pinned.token_ids)
+        self._note_pages_committed(len(matched))
+        self._last_chain = matched[-1].chain
+        self.attached_tokens = total
+        return total
+
+    # ------------------------------------------------------------------
     # Chunked prefill: page-aligned partial prompt commits.
     # ------------------------------------------------------------------
     def begin_ingest(self) -> None:
@@ -211,6 +275,8 @@ class RequestKV:
         ``start`` must sit on a page boundary and equal the tokens
         already ingested; ``end`` must sit on a page boundary too unless
         it is the end of the prompt (the tail rides in the final chunk).
+        A warm request (cached prefix attached) ingests at arbitrary
+        boundaries instead — its prefix may end mid-page.
         """
         P = self.page_tokens
         if start != self.num_tokens:
@@ -218,6 +284,12 @@ class RequestKV:
                 f"chunk starts at {start} but {self.num_tokens} prompt "
                 f"tokens are ingested"
             )
+        if self._warm:
+            if not start < end <= len(self.prompt_ids):
+                raise ValueError(f"bad chunk bounds [{start}, {end})")
+            self._chunk_bounds = (start, end)
+            self._chunk_segments = {}
+            return
         if start % P:
             raise ValueError(f"chunk start {start} is not page-aligned")
         if end % P and end != len(self.prompt_ids):
@@ -256,6 +328,13 @@ class RequestKV:
                     if held is None
                     else np.concatenate([held, chunk], axis=0)
                 )
+        if self._warm:
+            # Warm suffix: one segment per side, appended as tail state.
+            k_seg = self._encode_segment(layer, "keys", k_chunk)
+            v_seg = self._encode_segment(layer, "values", v_chunk)
+            self._append_segment(layer, k_seg, v_seg)
+            self._chunk_segments[layer] = ([k_seg], [v_seg])
+            return
         k_segments: list = []
         v_segments: list = []
         for j in range(start // P, end // P):
@@ -291,6 +370,24 @@ class RequestKV:
         if self._chunk_bounds is None:
             raise RuntimeError("no open chunk to commit")
         start, end = self._chunk_bounds
+        if self._warm:
+            # Warm chunks never page mid-prompt: they accumulate as the
+            # private tail and are promoted as one chain page at release
+            # (or by the decode-time pageify once the tail fills up).
+            chunk_nbytes = sum(
+                self.backend.segment_nbytes(seg)
+                for pair in self._chunk_segments.values()
+                for segments in pair
+                for seg in segments
+            )
+            chunk_fp16 = (end - start) * self.backend.per_token_fp16_nbytes
+            self._unpaged_nbytes += chunk_nbytes
+            self._unpaged_fp16_nbytes += chunk_fp16
+            self.pool.reserve_private(chunk_nbytes, chunk_fp16)
+            self.token_ids.extend(self.prompt_ids[start:end])
+            self._chunk_bounds = None
+            self._chunk_segments = {}
+            return
         P = self.page_tokens
         pages = range(start // P, end // P)
         for index, j in enumerate(pages):
@@ -344,7 +441,8 @@ class RequestKV:
         start = self.paged_tokens
         ids = self.token_ids[start:]
         payload = self._collect_page_payload(start)
-        chain = chain_hash(self._last_chain, ids)
+        parent = self._last_chain
+        chain = chain_hash(parent, ids)
         nbytes = self._unpaged_nbytes
         fp16_nbytes = self._unpaged_fp16_nbytes
         self.pool.free_private(nbytes, fp16_nbytes)
@@ -352,7 +450,7 @@ class RequestKV:
         # and the coalesce is pure bookkeeping), so it is not a write.
         page, _shared = self.pool.acquire(
             chain, ids, lambda: (payload, nbytes, fp16_nbytes),
-            count_write=False,
+            count_write=False, parent=parent,
         )
         self.pages.append(page)
         self._last_chain = chain
@@ -369,6 +467,8 @@ class RequestKV:
         streams themselves) are host-side state and survive untouched,
         so re-admission decodes nothing old.
         """
+        if self._released:
+            raise RuntimeError("request KV already released")
         if not self.resident:
             raise RuntimeError("already swapped out")
         for page in self.pages:
@@ -390,15 +490,26 @@ class RequestKV:
         self.resident = True
 
     def release(self) -> None:
-        """Drop every pool reference (request finished)."""
+        """Drop every pool reference (request finished).
+
+        The final partial page — the prompt's unpaged tail plus whatever
+        decode tokens had not filled a page yet — is not discarded: it
+        is promoted into a chain-addressable page first (a pure
+        bookkeeping move, the bytes were already written), so a
+        follow-up turn whose prompt extends this conversation hits the
+        *entire* history instead of missing on everything past the last
+        page boundary.
+        """
+        if self._released:
+            raise RuntimeError("request KV already released (double free)")
         if not self.resident:
             raise RuntimeError("release while swapped out")
+        if self.unpaged_tokens > 0:
+            self._pageify()
         for page in self.pages:
             self.pool.release(page)
-        self.pool.free_private(self._unpaged_nbytes, self._unpaged_fp16_nbytes)
         self.pages = []
-        self._unpaged_nbytes = 0
-        self._unpaged_fp16_nbytes = 0
+        self._released = True
 
     # ------------------------------------------------------------------
     # Storage-format hooks.

@@ -31,13 +31,19 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .pool import BudgetExceededError
+
 __all__ = [
+    "SessionTrace",
+    "SessionTurn",
+    "SessionWorkloadConfig",
     "StepCostModel",
     "TraceRequest",
     "VirtualClock",
     "WorkloadConfig",
     "bursty_arrivals",
     "diurnal_arrivals",
+    "generate_sessions",
     "generate_trace",
     "poisson_arrivals",
     "replay_trace",
@@ -289,6 +295,129 @@ def generate_trace(
 
 
 # ----------------------------------------------------------------------
+# Multi-turn chat sessions.
+# ----------------------------------------------------------------------
+
+@dataclass
+class SessionTurn:
+    """One user turn of a chat session."""
+
+    #: Seeded think-time gap between the previous turn's last token and
+    #: this turn's arrival (0 for the first turn — the session's
+    #: ``start_s`` anchors that one).
+    think_s: float
+    user_tokens: np.ndarray
+    max_new_tokens: int
+
+
+@dataclass
+class SessionTrace:
+    """One scripted multi-turn conversation."""
+
+    session_id: str
+    start_s: float
+    turns: list[SessionTurn]
+
+    @property
+    def num_turns(self) -> int:
+        return len(self.turns)
+
+
+@dataclass
+class SessionWorkloadConfig:
+    """Knobs for a generated multi-turn chat workload.
+
+    Turn N+1's prompt is the full conversation so far plus new user
+    text — the dominant production pattern cross-turn KV reuse exists
+    for.  All lengths are lognormal-clipped like :class:`WorkloadConfig`;
+    think times are lognormal too (humans read, then type).  Every
+    session's first turn opens with one shared system prompt, so the
+    workload also exercises cross-*session* sharing of the system pages.
+    """
+
+    num_sessions: int = 6
+    #: Sessions open uniformly across this window.
+    start_window_s: float = 4.0
+    turns_mean: float = 4.0
+    turns_sigma: float = 0.3
+    min_turns: int = 2
+    max_turns: int = 8
+    vocab_size: int = 64
+    page_tokens: int = 8
+    #: Shared system prompt (pages), identical across sessions.
+    system_pages: int = 1
+    first_turn_mean: float = 16.0
+    turn_mean: float = 12.0
+    turn_sigma: float = 0.5
+    think_mean_s: float = 0.6
+    think_sigma_s: float = 0.6
+    output_mean: float = 10.0
+    output_sigma: float = 0.4
+    min_tokens: int = 2
+    max_tokens: int = 48
+
+
+def generate_sessions(
+    config: SessionWorkloadConfig | None = None, seed: int = 0, **overrides
+) -> list[SessionTrace]:
+    """A reproducible multi-turn chat workload: same (config, seed) pair,
+    same sessions, turn for turn and gap for gap."""
+    if config is None:
+        config = SessionWorkloadConfig()
+    if overrides:
+        config = SessionWorkloadConfig(**{**config.__dict__, **overrides})
+    rng = np.random.default_rng(seed)
+    vocab = config.vocab_size
+    system = _tokens(rng, config.system_pages * config.page_tokens, vocab)
+    starts = np.sort(
+        rng.uniform(0.0, config.start_window_s, size=config.num_sessions)
+    )
+    sessions = []
+    for i, start in enumerate(starts):
+        num_turns = _lognormal_int(
+            rng, config.turns_mean, config.turns_sigma,
+            config.min_turns, config.max_turns,
+        )
+        turns = []
+        for turn in range(num_turns):
+            mean = config.first_turn_mean if turn == 0 else config.turn_mean
+            text = _tokens(
+                rng,
+                _lognormal_int(
+                    rng, mean, config.turn_sigma,
+                    config.min_tokens, config.max_tokens,
+                ),
+                vocab,
+            )
+            if turn == 0:
+                text = np.concatenate([system, text])
+                think = 0.0
+            else:
+                think = float(
+                    rng.lognormal(
+                        np.log(max(config.think_mean_s, 1e-3)),
+                        config.think_sigma_s,
+                    )
+                )
+            turns.append(
+                SessionTurn(
+                    think_s=think,
+                    user_tokens=text,
+                    max_new_tokens=_lognormal_int(
+                        rng, config.output_mean, config.output_sigma,
+                        config.min_tokens, config.max_tokens,
+                    ),
+                )
+            )
+        sessions.append(
+            SessionTrace(
+                session_id=f"session-{i}", start_s=float(start), turns=turns
+            )
+        )
+    return sessions
+
+
+# ----------------------------------------------------------------------
 # Replay: virtual time.
 # ----------------------------------------------------------------------
 
@@ -348,6 +477,22 @@ class StepCostModel:
         bandwidth = self.bw_s_per_byte * float(last_step["kv_read_bytes"])
         return self.base_s + max(compute, bandwidth)
 
+    # Component charges for *synchronous* charging: an engine built with
+    # ``step_cost=`` advances its virtual clock as work happens, so a
+    # request's own prefill cost lands inside its TTFT (what makes a
+    # warm, cache-served turn measurably faster than a cold start even
+    # on an idle engine).  The fused-step roofline above stays the
+    # replay-side model; use one or the other per engine, never both.
+    def prefill_s(self, tokens: int) -> float:
+        """Simulated cost of forwarding ``tokens`` prompt tokens."""
+        return self.base_s + self.compute_s_per_token * float(tokens)
+
+    def decode_s(self, decode_tokens: int, kv_read_bytes: float) -> float:
+        """Simulated cost of one batched decode step (two-lane max)."""
+        compute = self.compute_s_per_token * float(decode_tokens)
+        bandwidth = self.bw_s_per_byte * float(kv_read_bytes)
+        return self.base_s + max(compute, bandwidth)
+
 
 def replay_trace(
     target,
@@ -369,6 +514,12 @@ def replay_trace(
     front-end returning 429.  Returns replay totals; latency metrics
     live in the target's own report.
     """
+    if getattr(target, "step_cost", None) is not None:
+        raise ValueError(
+            "target already charges its own clock (step_cost set on the "
+            "engine); replay_trace's per-step charge would double-count "
+            "— drop one of the two"
+        )
     if step_cost is None:
         step_cost = StepCostModel()
     order = sorted(range(len(trace)), key=lambda i: trace[i].arrival_s)
@@ -382,7 +533,7 @@ def replay_trace(
             item = trace[order[i]]
             try:
                 request = target.submit(item.prompt, item.max_new_tokens)
-            except ValueError:
+            except BudgetExceededError:
                 rejected += 1
             else:
                 # TTFT is measured from the trace arrival, not from the
