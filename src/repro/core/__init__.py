@@ -11,7 +11,12 @@ from .codec import (
 )
 from .config import ACT_CONFIG, KV_CONFIG, WEIGHT_CONFIG, EccoConfig
 from .grouping import NormalizedGroups, normalize_groups, tensor_exponent, to_groups
-from .kv import KVCacheCodec, KVCacheStream, merge_token_segments
+from .kv import (
+    KVCacheCodec,
+    KVCacheStream,
+    merge_token_segments,
+    split_token_segment,
+)
 from .patterns import (
     SCALE_SYMBOL,
     TensorMeta,
@@ -39,6 +44,7 @@ __all__ = [
     "compress_weight",
     "fit_tensor_meta",
     "merge_token_segments",
+    "split_token_segment",
     "normalize_groups",
     "plan_encoding",
     "select_patterns_minmax",

@@ -19,7 +19,12 @@ import numpy as np
 from .codec import CompressedTensor, EccoTensorCodec, plan_encoding, reconstruct
 from .patterns import TensorMeta
 
-__all__ = ["KVCacheCodec", "KVCacheStream", "merge_token_segments"]
+__all__ = [
+    "KVCacheCodec",
+    "KVCacheStream",
+    "merge_token_segments",
+    "split_token_segment",
+]
 
 
 def merge_token_segments(segments: list[CompressedTensor]) -> CompressedTensor:
@@ -59,6 +64,59 @@ def merge_token_segments(segments: list[CompressedTensor]) -> CompressedTensor:
         ),
         token_shape=(num_tokens, dim),
     )
+
+
+def split_token_segment(
+    segment: CompressedTensor, num_head_tokens: int
+) -> tuple[CompressedTensor, CompressedTensor]:
+    """Cut a token segment at a token boundary into two, bit for bit.
+
+    The inverse of :func:`merge_token_segments`: per-token group padding
+    makes a segment's block stack the exact concatenation of its tokens'
+    blocks, so splitting is pure bookkeeping — slice the block rows at
+    the token boundary and both halves decode to exactly the rows the
+    whole segment would have produced (and, because every group is
+    encoded independently, to exactly the blocks a fresh encode of each
+    half would emit).  This is what lets a prefix-cache page be split at
+    a divergence point without re-encoding either side.
+
+    The block slices are copied so evicting one half actually frees its
+    bytes instead of pinning the parent's whole block stack.
+    """
+    if segment.token_shape is None:
+        raise ValueError("not a token segment (token_shape unset)")
+    num_tokens, dim = segment.token_shape
+    if not 0 < num_head_tokens < num_tokens:
+        raise ValueError(
+            f"split point {num_head_tokens} must lie strictly inside "
+            f"the segment's {num_tokens} tokens"
+        )
+    padded_dim = segment.shape[1]
+    groups = segment.blocks.shape[0]
+    if groups % num_tokens:
+        raise ValueError(
+            f"{groups} block groups do not divide evenly over "
+            f"{num_tokens} tokens; not a per-token-padded segment"
+        )
+    groups_per_token = groups // num_tokens
+    cut = num_head_tokens * groups_per_token
+
+    def part(blocks: np.ndarray, tokens: int) -> CompressedTensor:
+        return CompressedTensor(
+            blocks=blocks.copy(),
+            shape=(tokens, padded_dim),
+            pad=0,
+            # The per-group ratios are stats, not decode state; the
+            # parent's averages are the best per-half estimate available
+            # without re-planning.
+            clipping_ratio=segment.clipping_ratio,
+            padding_ratio=segment.padding_ratio,
+            token_shape=(tokens, dim),
+        )
+
+    head = part(segment.blocks[:cut], num_head_tokens)
+    tail = part(segment.blocks[cut:], num_tokens - num_head_tokens)
+    return head, tail
 
 
 class KVCacheCodec(EccoTensorCodec):

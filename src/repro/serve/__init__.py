@@ -21,6 +21,7 @@ from .request import Request, RequestMetrics, RequestState
 from .scheduler import ContinuousBatchingScheduler
 from .session import Session, replay_sessions
 from .storage import EccoKVBackend, Fp16KVBackend, RequestKV
+from .trie import PrefixMatch, PrefixTrie, common_prefix_len
 from .workload import (
     SessionTrace,
     SessionTurn,
@@ -46,6 +47,8 @@ __all__ = [
     "Fp16KVBackend",
     "KVPage",
     "PagedKVPool",
+    "PrefixMatch",
+    "PrefixTrie",
     "Request",
     "RequestKV",
     "RequestMetrics",
@@ -61,6 +64,7 @@ __all__ = [
     "WorkloadConfig",
     "bursty_arrivals",
     "chain_hash",
+    "common_prefix_len",
     "decode_step_sectors",
     "diurnal_arrivals",
     "generate_sessions",

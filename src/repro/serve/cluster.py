@@ -25,6 +25,7 @@ from .engine import ServingEngine
 from .metrics import ttft_split
 from .pool import ROOT_CHAIN, chain_hash
 from .request import Request
+from .trie import common_prefix_len
 
 __all__ = ["ClusterRouter"]
 
@@ -74,6 +75,8 @@ class ClusterRouter:
             "affinity_overrides": 0,
             "session_pins": 0,
             "session_hits": 0,
+            "dedup_groups": 0,
+            "dedup_grouped": 0,
         }
         #: Per-replica step compositions from the most recent ``step()``
         #: — replicas run concurrently, so a replay cost model charges
@@ -160,8 +163,6 @@ class ClusterRouter:
         later turn goes to the same replica — the only one holding the
         session's cached KV history.
         """
-        if request_id is not None and request_id in self._used_ids:
-            raise ValueError(f"duplicate request_id {request_id!r}")
         prompt = np.asarray(prompt, dtype=np.int64).reshape(-1)
         pinned = (
             self._sessions.get(session_id) if session_id is not None else None
@@ -170,6 +171,33 @@ class ClusterRouter:
             index, key, outcome = pinned, None, "session"
         else:
             index, key, outcome = self._route(prompt)
+        return self._place(
+            index,
+            key,
+            outcome,
+            prompt,
+            max_new_tokens,
+            request_id=request_id,
+            eos_token=eos_token,
+            session_id=session_id,
+        )
+
+    def _place(
+        self,
+        index: int,
+        key: str | None,
+        outcome: str,
+        prompt: np.ndarray,
+        max_new_tokens: int,
+        request_id: str | None = None,
+        eos_token: int | None = None,
+        session_id: str | None = None,
+    ) -> Request:
+        """Commit one routing decision: mint the ID, submit to the chosen
+        replica, and — only once the replica accepts — update IDs,
+        affinity state and routing stats."""
+        if request_id is not None and request_id in self._used_ids:
+            raise ValueError(f"duplicate request_id {request_id!r}")
         auto = request_id is None
         if auto:
             candidate = self._next_request
@@ -196,12 +224,104 @@ class ClusterRouter:
                 self.stats["affinity_overrides"] += 1
             if key is not None:
                 self._affinity[key] = index
-        if session_id is not None and pinned is None:
+        if session_id is not None and session_id not in self._sessions:
             self._sessions[session_id] = index
             self.stats["session_pins"] += 1
         request.replica = index
         self.stats["routed"][index] += 1
         return request
+
+    def submit_batch(
+        self, submissions: list[dict], dedup_min_tokens: int | None = None
+    ) -> list[Request]:
+        """Place a batch with a pre-flight prefix-dedup pass.
+
+        Each submission is a dict of :meth:`submit` keyword arguments
+        (``prompt`` required).  Submissions whose prompts share at least
+        ``dedup_min_tokens`` leading tokens (default: one page) are
+        grouped and the whole group lands on one replica — the one whose
+        pool already holds the longest piece of the shared prefix (a
+        cheap trie probe, no references taken), falling back to the
+        least-loaded replica for a prefix no pool holds yet.  Per-replica
+        routing would otherwise scatter the group and every replica would
+        encode the shared prefix once each; grouped, one member encodes
+        it and the rest attach it from the prefix cache.
+
+        Session-pinned turns keep their hard pin and singleton groups
+        fall through to normal :meth:`submit` routing, so the pass only
+        changes where *shareable* work lands.  Returns the Requests in
+        submission order.  A rejected submission propagates its
+        exception; earlier members of the batch stay submitted.
+        """
+        if dedup_min_tokens is None:
+            dedup_min_tokens = self.page_tokens
+        if dedup_min_tokens < 1:
+            raise ValueError("dedup_min_tokens must be >= 1")
+        results: list[Request | None] = [None] * len(submissions)
+        loose: list[tuple[int, dict]] = []
+        for order, sub in enumerate(submissions):
+            sub = dict(sub)
+            sub["prompt"] = np.asarray(
+                sub["prompt"], dtype=np.int64
+            ).reshape(-1)
+            session_id = sub.get("session_id")
+            if session_id is not None and session_id in self._sessions:
+                results[order] = self.submit(**sub)  # hard session pin
+            else:
+                loose.append((order, sub))
+        # Sort by prompt so prefix-sharers are adjacent; for sorted
+        # sequences the LCP of any two group members is the minimum of
+        # the consecutive LCPs between them, so greedy consecutive
+        # grouping finds exactly the maximal shared-prefix runs.
+        loose.sort(key=lambda item: tuple(item[1]["prompt"].tolist()))
+        groups: list[tuple[list[tuple[int, dict]], int]] = []
+        run: list[tuple[int, dict]] = []
+        run_lcp = 0
+        for item in loose:
+            if not run:
+                run, run_lcp = [item], len(item[1]["prompt"])
+                continue
+            lcp = common_prefix_len(run[-1][1]["prompt"], item[1]["prompt"])
+            if lcp >= dedup_min_tokens:
+                run.append(item)
+                run_lcp = min(run_lcp, lcp)
+            else:
+                groups.append((run, run_lcp))
+                run, run_lcp = [item], len(item[1]["prompt"])
+        if run:
+            groups.append((run, run_lcp))
+        for group, lcp in groups:
+            if len(group) == 1:
+                order, sub = group[0]
+                results[order] = self.submit(**sub)
+                continue
+            shared = group[0][1]["prompt"][:lcp]
+            probes = [
+                engine.pool.probe_prefix(shared) for engine in self.engines
+            ]
+            best = max(probes)
+            if best > 0:
+                index = min(
+                    (i for i, p in enumerate(probes) if p == best),
+                    key=self._load,
+                )
+            else:
+                index = min(range(len(self.engines)), key=self._load)
+            self.stats["dedup_groups"] += 1
+            self.stats["dedup_grouped"] += len(group)
+            key = self._prefix_key(shared)
+            for order, sub in group:
+                results[order] = self._place(
+                    index,
+                    key,
+                    "dedup",
+                    sub["prompt"],
+                    sub["max_new_tokens"],
+                    request_id=sub.get("request_id"),
+                    eos_token=sub.get("eos_token"),
+                    session_id=sub.get("session_id"),
+                )
+        return results
 
     # ------------------------------------------------------------------
     # The cluster step loop.
@@ -256,6 +376,8 @@ class ClusterRouter:
                 "warm_prefills",
                 "prefix_tokens_reused",
                 "prefix_pages_reused",
+                "prefix_partial_attaches",
+                "split_tokens_salvaged",
                 "prefill_forwarded_tokens",
                 "hol_blocked_steps",
                 "hol_bypasses",
@@ -287,6 +409,8 @@ class ClusterRouter:
                 "affinity_overrides": self.stats["affinity_overrides"],
                 "session_pins": self.stats["session_pins"],
                 "session_hits": self.stats["session_hits"],
+                "dedup_groups": self.stats["dedup_groups"],
+                "dedup_grouped": self.stats["dedup_grouped"],
             },
             "per_replica": replicas,
         }

@@ -81,6 +81,9 @@ class ServingEngine:
         step_token_budget: int | None = None,
         hol_bypass_limit: int = 1,
         prefix_reuse: bool = True,
+        prefix_trie: bool = True,
+        cache_ttl_s: float | None = None,
+        split_min_tokens: int = 4,
         step_cost: StepCostModel | None = None,
         weights: dict | None = None,
         act_quant=None,
@@ -97,7 +100,19 @@ class ServingEngine:
             self.backend = Fp16KVBackend(spec.num_layers, spec.d_model)
         else:
             raise KeyError(f"unknown storage {storage!r}; known: ecco, fp16")
-        self.pool = PagedKVPool(byte_budget, page_tokens=page_tokens)
+        #: ``prefix_trie`` selects the pool's token-level radix-trie
+        #: lookup (partial matches split pages at the divergence point);
+        #: disable for the legacy whole-page chain-walk fallback.
+        #: ``cache_ttl_s`` ages idle prefix-cache pages out of the
+        #: budget (swept once per step) even under zero pressure.
+        self.pool = PagedKVPool(
+            byte_budget,
+            page_tokens=page_tokens,
+            use_trie=prefix_trie,
+            ttl_s=cache_ttl_s,
+            split_min_tokens=split_min_tokens,
+            clock=clock,
+        )
         self.scheduler = ContinuousBatchingScheduler(
             max_batch_size=max_batch_size, watermark=watermark
         )
@@ -288,9 +303,13 @@ class ServingEngine:
         if attached:
             request.metrics.cached_tokens = attached
             request.metrics.cached_pages = len(request.kv.pages)
+            request.metrics.split_tokens = request.kv.split_tokens
             self.metrics.warm_prefills += 1
             self.metrics.prefix_tokens_reused += attached
             self.metrics.prefix_pages_reused += len(request.kv.pages)
+            if request.kv.split_tokens:
+                self.metrics.prefix_partial_attaches += 1
+                self.metrics.split_tokens_salvaged += request.kv.split_tokens
         return attached
 
     def _charge_prefill(self, tokens: int) -> None:
@@ -503,6 +522,9 @@ class ServingEngine:
     def step(self) -> int:
         """One scheduler iteration; returns tokens processed this step
         (prompt tokens ingested plus decode tokens generated)."""
+        # Age stale prefix-cache pages out before admission sizes its
+        # headroom, so TTL-expired bytes never crowd out a new request.
+        self.pool.expire_ttl()
         prefill_tokens = self._admit()
         prefill_tokens += self._chunk_work(prefill_tokens)
         decode_tokens, kv_read = self._decode()

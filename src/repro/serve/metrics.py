@@ -65,6 +65,9 @@ def summarize_turns(turn_reports: list[dict]) -> dict:
         "prefix_tokens_reused": reused,
         "prompt_tokens_reencoded": prompt_tokens - reused,
         "prefix_pages_hit": sum(t["cached_pages"] for t in turns),
+        "split_tokens_salvaged": sum(
+            t.get("split_tokens", 0) for t in turns
+        ),
         "reuse_fraction": reused / prompt_tokens if prompt_tokens else 0.0,
         "ttft_s_mean_warm": _mean_ttft(warm),
         "ttft_s_mean_cold": _mean_ttft(cold),
@@ -129,6 +132,12 @@ class EngineMetrics:
     warm_prefills: int = 0
     prefix_tokens_reused: int = 0
     prefix_pages_reused: int = 0
+    #: Warm admissions whose match ended *inside* a cached page and
+    #: attached a split-off head, and the tokens those splits salvaged
+    #: (a subset of ``prefix_tokens_reused``) — the chain-walk lookup
+    #: would have re-encoded every one of them.
+    prefix_partial_attaches: int = 0
+    split_tokens_salvaged: int = 0
     #: Prompt tokens that actually ran through a prefill forward pass
     #: (whole-prompt, warm-suffix and chunked alike) — with
     #: ``prefix_tokens_reused`` this decomposes every admitted prompt
@@ -196,6 +205,8 @@ class EngineMetrics:
             "warm_prefills": self.warm_prefills,
             "prefix_tokens_reused": self.prefix_tokens_reused,
             "prefix_pages_reused": self.prefix_pages_reused,
+            "prefix_partial_attaches": self.prefix_partial_attaches,
+            "split_tokens_salvaged": self.split_tokens_salvaged,
             "prefill_forwarded_tokens": self.prefill_forwarded_tokens,
             "hol_blocked_steps": self.hol_blocked_steps,
             "hol_bypasses": self.hol_bypasses,

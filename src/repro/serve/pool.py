@@ -15,6 +15,16 @@ deterministic and causal attention makes a prefix's KV independent of
 what follows, the shared bytes are bit-identical to what each request
 would have encoded alone.
 
+Prefix lookup is **token-level**, not page-level: a
+:class:`~repro.serve.trie.PrefixTrie` indexes every resident page with
+first-token child buckets and vectorized token compares, so a prompt
+that shares only *part* of a page still matches — the pool splits the
+page at the divergence point (:meth:`PagedKVPool.split_page`, a pure
+block-slice both storage formats perform bit-exactly) and the request
+attaches the shared head instead of re-encoding it.  ``use_trie=False``
+falls back to the legacy whole-page chain walk (still with vectorized
+compares) for benchmarking the difference.
+
 Preemption support distinguishes *resident* references (running
 requests) from *swapped* references (preempted requests): a page's bytes
 leave the device — and count as swap traffic — only when its last
@@ -25,22 +35,32 @@ Pages whose last reference disappears are not freed eagerly: they stay
 resident as an evictable LRU prefix cache, so a request arriving after
 every earlier tenant finished still shares the common prompt's pages.
 Cached pages are reclaimed lazily whenever new allocations need the
-room.
+room, and — when ``ttl_s`` is set — by an age sweep, so stale history
+leaves the budget even under low pressure.
 
-Eviction is *chain-aware*: a cached page is only useful if every
-ancestor on its hash chain is still resident (a prefix-match walk
-starts at ``ROOT_CHAIN`` and descends parent to child), so reclaiming
-prefers suffix-first — the LRU page with no resident children — and,
-when a parent must go anyway, cascades through its cached descendants
-rather than stranding them as unreachable dead weight in the budget.
+Eviction is *chain-aware* and *cost-aware*: a cached page is only
+useful if every ancestor on its chain is still resident, so reclaiming
+prefers suffix-first — a cached page with no resident children (the
+pool keeps a dedicated leaf index so finding one is O(1) amortized, not
+a scan) — and, when a parent must go anyway, cascades through its
+cached descendants rather than stranding them.  Among leaves, the
+victim is the page whose eviction forfeits the least re-encode savings:
+minimum ``(1 + hits) * nbytes`` (compressed bytes weighted by how often
+the page has actually been shared), ties broken least-recently-used.
+TTL expiry runs before cost ranking: a page idle past ``ttl_s`` goes
+first regardless of how valuable it once was.
 """
 
 from __future__ import annotations
 
 import hashlib
+import heapq
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from .trie import PrefixMatch, PrefixTrie
 
 __all__ = ["BudgetExceededError", "KVPage", "PagedKVPool", "chain_hash"]
 
@@ -66,6 +86,12 @@ def chain_hash(parent: str, token_ids) -> str:
     return h.hexdigest()
 
 
+def _hist_bucket(tokens: int) -> str:
+    """Power-of-two histogram bucket label for a matched-prefix length."""
+    lo = 1 << (int(tokens).bit_length() - 1)
+    return f"{lo}-{2 * lo - 1}"
+
+
 @dataclass
 class KVPage:
     """One page: every layer's K/V segments for ``token_ids``."""
@@ -73,8 +99,10 @@ class KVPage:
     page_id: int
     chain: str
     token_ids: tuple
-    #: Chain of the preceding page (``ROOT_CHAIN`` for a first page);
-    #: ``chain == chain_hash(parent, token_ids)`` always holds.
+    #: Chain of the preceding page (``ROOT_CHAIN`` for a first page).
+    #: For pages created on their original boundaries
+    #: ``chain == chain_hash(parent, token_ids)``; a page that was
+    #: re-parented by a split keeps its chain as an opaque identity.
     parent: str = ROOT_CHAIN
     #: layer -> (key segment, value segment); CompressedTensor pairs in
     #: ecco mode, fp16 ndarray pairs in the baseline mode.
@@ -85,30 +113,83 @@ class KVPage:
     ref_count: int = 0
     #: References held by swapped-out (preempted) requests.
     swapped_refs: int = 0
+    #: Times this page was shared beyond its first use (acquire hits,
+    #: swap-in substitutions, prefix attaches) — the reuse frequency the
+    #: cost-aware eviction policy weighs.
+    hits: int = 0
+    #: Pool-clock timestamp of the last share/pin/build.
+    last_used: float = 0.0
+    #: Pool-clock timestamp of the last demotion into the prefix cache.
+    cached_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        #: The token ids as an int64 array, for vectorized trie compares.
+        self.token_array = np.asarray(self.token_ids, dtype=np.int64)
 
     @property
     def num_tokens(self) -> int:
         return len(self.token_ids)
 
+    @property
+    def cost_score(self) -> float:
+        """Re-encode savings forfeited by evicting this page: its
+        compressed bytes weighted by how often it has been shared.
+        Lower scores evict first."""
+        return float((1 + self.hits) * self.nbytes)
+
 
 class PagedKVPool:
     """Byte-budgeted page pool with sharing and swap accounting."""
 
-    def __init__(self, byte_budget: int, page_tokens: int = 8):
+    def __init__(
+        self,
+        byte_budget: int,
+        page_tokens: int = 8,
+        *,
+        use_trie: bool = True,
+        ttl_s: float | None = None,
+        split_min_tokens: int = 4,
+        clock=time.monotonic,
+    ):
         if byte_budget <= 0:
             raise ValueError("byte_budget must be positive")
         if page_tokens < 1:
             raise ValueError("page_tokens must be >= 1")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError("ttl_s must be positive (or None to disable)")
+        if split_min_tokens < 1:
+            raise ValueError("split_min_tokens must be >= 1")
         self.byte_budget = int(byte_budget)
         self.page_tokens = int(page_tokens)
+        self.ttl_s = ttl_s
+        #: Cost-aware split floor: a partial match salvaging fewer than
+        #: this many tokens is not worth a physical page split (the two
+        #: block-copied halves plus per-page overhead cost more than
+        #: re-encoding the head).  Attach-time policy only — direct
+        #: :meth:`split_page` calls are not floored.
+        self.split_min_tokens = int(split_min_tokens)
+        self._clock = clock
+        #: Token-level prefix index; ``None`` in the legacy chain-walk
+        #: fallback mode (whole-page matches only, no splitting).
+        self.trie: PrefixTrie | None = PrefixTrie() if use_trie else None
         self._pages: dict[int, KVPage] = {}     # resident pages by id
         self._swapped: dict[int, KVPage] = {}   # swapped-out pages by id
         self._index: dict[str, int] = {}        # chain -> resident page id
         #: parent chain -> {child chain: resident page id} — the edges a
         #: prefix-match walk descends and chain-aware eviction consults.
         self._children: dict[str, dict[str, int]] = {}
-        #: Ref-0 pages retained as a prefix cache, insertion-ordered = LRU.
+        #: Ref-0 pages retained as a prefix cache, insertion-ordered.
         self._cached: dict[int, KVPage] = {}
+        #: The slice of ``_cached`` with no resident children — the only
+        #: pages an eviction pass may take without cascading.  Kept
+        #: incrementally on register/unregister/demote so picking a
+        #: victim never scans the whole cache.
+        self._leaf_cached: dict[int, KVPage] = {}
+        #: Lazy min-heap over leaf pages: (cost_score, last_used, seq,
+        #: page_id).  Entries go stale when a page leaves the leaf set;
+        #: they are skipped at pop time.
+        self._victim_heap: list[tuple[float, float, int, int]] = []
+        self._heap_seq = 0
         self._next_id = 0
         #: Actual bytes resident (pages + private tail reservations).
         self.bytes_resident = 0
@@ -119,16 +200,31 @@ class PagedKVPool:
         self.bytes_swapped = 0
         self.private_bytes = 0
         #: The slice of ``bytes_swapped`` that is private-tail bytes —
-        #: kept separately so the swap-in guard is exact (checking the
-        #: aggregate would let a double swap-in hide behind other
-        #: requests' swapped pages).
+        #: kept separately so the swap-in guard is exact, not aggregate.
         self.private_swapped_bytes = 0
+        #: Matched-prefix-length histogram (power-of-two buckets) over
+        #: every ``lookup_prefix`` call that matched at least one token.
+        self.matched_prefix_hist: dict[str, int] = {}
         self.stats = {
             "pages_allocated": 0,
             "pages_shared": 0,
             "pages_freed": 0,
             "pages_evicted": 0,
             "prefix_cache_hits": 0,
+            # Prefix lookup outcomes (one per lookup_prefix call): the
+            # prompt matched nothing / matched whole pages only /
+            # matched into the middle of a page (split opportunity).
+            "prefix_misses": 0,
+            "prefix_full_hits": 0,
+            "prefix_partial_hits": 0,
+            # Partial-page splits performed, and the shared-head tokens
+            # they salvaged for reuse.
+            "pages_split": 0,
+            "split_tokens_salvaged": 0,
+            # Eviction-reason breakdown; the three sum to pages_evicted.
+            "evictions_pressure": 0,
+            "evictions_ttl": 0,
+            "evictions_cascade": 0,
             "bytes_written": 0,
             "shared_bytes_saved": 0,
             # The same sharing measured in fp16-equivalent bytes: what the
@@ -174,20 +270,73 @@ class PagedKVPool:
             if pid in self._pages
         ]
 
+    # ------------------------------------------------------------------
+    # The evictable cache and its leaf index.
+    # ------------------------------------------------------------------
+    def _leaf_add(self, page: KVPage) -> None:
+        if page.page_id in self._leaf_cached:
+            return
+        self._leaf_cached[page.page_id] = page
+        self._heap_seq += 1
+        heapq.heappush(
+            self._victim_heap,
+            (page.cost_score, page.last_used, self._heap_seq, page.page_id),
+        )
+
+    def _cache_insert(self, page: KVPage) -> None:
+        """Retain a ref-0 page in the evictable prefix cache.  The
+        caller must have set ``last_used``/``cached_at`` (demotion
+        stamps now; a split inherits the original page's age)."""
+        self._cached[page.page_id] = page
+        self.bytes_evictable += page.nbytes
+        if not self._children.get(page.chain):
+            self._leaf_add(page)
+
+    def _cache_remove(self, page: KVPage) -> None:
+        """Take a page back out of the evictable cache (re-pin/evict)."""
+        self._cached.pop(page.page_id)
+        self._leaf_cached.pop(page.page_id, None)
+        self.bytes_evictable -= page.nbytes
+
     def _pick_eviction_victim(self) -> KVPage:
-        """Suffix-first LRU: the oldest cached page with no resident
-        children.  Chain suffixes (stale conversation tails) go before
-        the shared prefixes beneath them, so an eviction pass never
-        orphans a page that could still be hit.  If every cached page
-        still has resident children (some pinned by running requests),
-        fall back to plain LRU — the cascade below keeps the cache
-        consistent even then."""
-        for page in self._cached.values():  # insertion order = LRU
-            if not self._resident_children(page.chain):
+        """Cheapest-first among cache leaves, O(log n) amortized.
+
+        Leaves (cached pages with no resident children) come from the
+        incrementally maintained leaf index, ranked by the lazy victim
+        heap: minimum ``(1 + hits) * nbytes`` — the page whose eviction
+        forfeits the least re-encode savings — ties broken
+        least-recently-used.  Suffixes (stale conversation tails) still
+        go before the shared prefixes beneath them because a parent with
+        resident children is never a leaf.  If every cached page has
+        resident children (some pinned by running requests), fall back
+        to plain FIFO — the cascade in ``_evict_page`` keeps the cache
+        consistent even then.
+        """
+        while self._victim_heap:
+            score, used, _seq, page_id = heapq.heappop(self._victim_heap)
+            page = self._leaf_cached.get(page_id)
+            if (
+                page is not None
+                and page.cost_score == score
+                and page.last_used == used
+            ):
                 return page
+        if self._leaf_cached:  # heap starved by stale entries: rebuild
+            for page in self._leaf_cached.values():
+                self._heap_seq += 1
+                heapq.heappush(
+                    self._victim_heap,
+                    (
+                        page.cost_score,
+                        page.last_used,
+                        self._heap_seq,
+                        page.page_id,
+                    ),
+                )
+            return self._pick_eviction_victim()
         return next(iter(self._cached.values()))
 
-    def _evict_page(self, page: KVPage) -> None:
+    def _evict_page(self, page: KVPage, reason: str = "pressure") -> None:
         """Evict one cached page, cascading through its cached
         descendants first (deepest-first): evicting a parent must never
         leave a cached child that no prefix-match walk can reach.
@@ -197,11 +346,12 @@ class PagedKVPool:
         while stack:
             node, expanded = stack.pop()
             if expanded:
-                self._cached.pop(node.page_id)
-                self.bytes_evictable -= node.nbytes
+                self._cache_remove(node)
                 self._unregister(node)
                 self.stats["pages_evicted"] += 1
                 self.stats["pages_freed"] += 1
+                key = "cascade" if node is not page else reason
+                self.stats[f"evictions_{key}"] += 1
                 continue
             stack.append((node, True))
             for child in self._resident_children(node.chain):
@@ -210,9 +360,38 @@ class PagedKVPool:
 
     def _evict_for(self, nbytes: int) -> None:
         """Reclaim prefix-cache pages until ``nbytes`` fits (or none are
-        left); allocation paths call this before claiming bytes."""
+        left); allocation paths call this before claiming bytes.  Pages
+        idle past the TTL go first — they are dead weight whatever their
+        cost score says."""
+        if not self.can_fit(nbytes):
+            self.expire_ttl()
         while not self.can_fit(nbytes) and self._cached:
             self._evict_page(self._pick_eviction_victim())
+
+    def expire_ttl(self) -> int:
+        """Evict cache leaves idle past ``ttl_s``; returns pages evicted.
+
+        Stale history ages out even under zero allocation pressure (the
+        engine sweeps once per step).  Only leaves are taken, so a chain
+        expires tail-first and no surviving cached page is ever
+        orphaned; a parent whose last child expired becomes a leaf
+        itself and is re-checked until nothing expired remains.
+        """
+        if self.ttl_s is None or not self._leaf_cached:
+            return 0
+        now = self._clock()
+        evicted = 0
+        while True:
+            expired = [
+                page
+                for page in self._leaf_cached.values()
+                if now - page.last_used > self.ttl_s
+            ]
+            if not expired:
+                return evicted
+            for page in sorted(expired, key=lambda p: p.last_used):
+                self._evict_page(page, reason="ttl")
+                evicted += 1
 
     def _bump(self, nbytes: int, fp16_nbytes: int) -> None:
         self.bytes_resident += nbytes
@@ -266,33 +445,29 @@ class PagedKVPool:
             )
 
     # ------------------------------------------------------------------
-    # Pages: acquire / release / swap.
+    # Prefix lookup.
     # ------------------------------------------------------------------
     def peek(self, chain: str) -> KVPage | None:
         """The resident page for ``chain``, if any (no ref taken)."""
         page_id = self._index.get(chain)
         return None if page_id is None else self._pages[page_id]
 
-    def match_prefix(self, token_ids) -> list[KVPage]:
-        """Resident pages covering the longest prefix of ``token_ids``.
-
-        Walks the hash chain from ``ROOT_CHAIN`` parent to child — the
-        lookup the prefix cache is actually keyed on — taking at each
-        node the longest resident child whose tokens literally continue
-        the prompt.  Handles variable page sizes (a promoted
-        conversation tail is a sub-page-sized chain node), takes no
-        references, and never descends through a missing ancestor.
-        """
-        ids = [int(t) for t in np.asarray(token_ids).reshape(-1)]
+    def _match(self, ids: np.ndarray) -> PrefixMatch:
+        """Longest-prefix match of ``ids``: trie descent (token-level,
+        may report a partial node) or the legacy whole-page chain walk
+        in the trie-off fallback mode."""
+        if self.trie is not None:
+            return self.trie.match(ids, ROOT_CHAIN)
         matched: list[KVPage] = []
         chain, pos = ROOT_CHAIN, 0
-        while pos < len(ids):
+        total = ids.shape[0]
+        while pos < total:
             best = None
             for child in self._resident_children(chain):
                 n = child.num_tokens
-                if pos + n > len(ids):
+                if pos + n > total:
                     continue
-                if list(child.token_ids) != ids[pos : pos + n]:
+                if not np.array_equal(child.token_array, ids[pos : pos + n]):
                     continue
                 if best is None or n > best.num_tokens:
                     best = child
@@ -301,8 +476,161 @@ class PagedKVPool:
             matched.append(best)
             pos += best.num_tokens
             chain = best.chain
-        return matched
+        return PrefixMatch(pages=matched)
 
+    def match_prefix(self, token_ids) -> list[KVPage]:
+        """Resident pages fully covering the longest prefix of
+        ``token_ids`` (no partial node, no references taken)."""
+        ids = np.asarray(token_ids, dtype=np.int64).reshape(-1)
+        return self._match(ids).pages
+
+    def lookup_prefix(self, token_ids) -> PrefixMatch:
+        """The attach-path lookup: longest prefix match *with* the
+        partial-node report, recording hit/miss observability counters
+        and the matched-length histogram."""
+        ids = np.asarray(token_ids, dtype=np.int64).reshape(-1)
+        match = self._match(ids)
+        matched = match.matched_tokens
+        if matched == 0:
+            self.stats["prefix_misses"] += 1
+        elif match.partial is not None:
+            self.stats["prefix_partial_hits"] += 1
+        else:
+            self.stats["prefix_full_hits"] += 1
+        if matched:
+            bucket = _hist_bucket(matched)
+            self.matched_prefix_hist[bucket] = (
+                self.matched_prefix_hist.get(bucket, 0) + 1
+            )
+        return match
+
+    def probe_prefix(self, token_ids) -> int:
+        """Tokens a lookup would match (full pages + partial head), with
+        no counters recorded and no split performed — the cheap probe
+        the cluster router's pre-flight dedup uses to place a group on
+        the replica already holding its shared prefix."""
+        ids = np.asarray(token_ids, dtype=np.int64).reshape(-1)
+        return self._match(ids).matched_tokens
+
+    # ------------------------------------------------------------------
+    # Partial-page splitting.
+    # ------------------------------------------------------------------
+    def split_page(
+        self, page: KVPage, head_tokens: int, split_payload
+    ) -> tuple[KVPage, KVPage] | None:
+        """Split a *cached* page at a token boundary into two bit-exact
+        pages; returns ``(head, tail)`` or ``None`` when the page cannot
+        be split safely.
+
+        ``split_payload(payload, head_tokens)`` is the storage backend's
+        splitter and must return ``(head_payload, head_nbytes,
+        head_fp16_nbytes, tail_payload, tail_nbytes, tail_fp16_nbytes)``
+        with byte totals exactly equal to the original page's — the
+        split moves no bytes, encodes nothing, and leaves the budget
+        untouched.  Only ref-0, unswapped cached pages are split: a
+        pinned page's tenants hold the page object itself, and rewriting
+        it under them would corrupt their paging state.  The old page's
+        children (resident and swapped) are re-parented under the tail,
+        so every existing chain stays reachable and the no-orphans
+        invariant holds across the rewrite.
+        """
+        if self.trie is None:
+            return None
+        if page.ref_count > 0 or page.swapped_refs > 0:
+            return None
+        if page.page_id not in self._cached:
+            return None
+        if not 0 < head_tokens < page.num_tokens:
+            raise ValueError(
+                f"split point {head_tokens} must lie strictly inside the "
+                f"page's {page.num_tokens} tokens"
+            )
+        head_ids = page.token_ids[:head_tokens]
+        tail_ids = page.token_ids[head_tokens:]
+        head_chain = chain_hash(page.parent, head_ids)
+        tail_chain = chain_hash(head_chain, tail_ids)
+        if head_chain in self._index or tail_chain in self._index:
+            # A bit-identical head already exists (the descent would
+            # normally have full-matched it); don't shadow it.
+            return None
+        (
+            head_payload,
+            head_nbytes,
+            head_fp16,
+            tail_payload,
+            tail_nbytes,
+            tail_fp16,
+        ) = split_payload(page.payload, head_tokens)
+        if head_nbytes + tail_nbytes != page.nbytes:
+            raise RuntimeError(
+                f"split bytes drifted: {head_nbytes} + {tail_nbytes} != "
+                f"{page.nbytes}"
+            )
+        if head_fp16 + tail_fp16 != page.fp16_nbytes:
+            raise RuntimeError(
+                f"split fp16 bytes drifted: {head_fp16} + {tail_fp16} != "
+                f"{page.fp16_nbytes}"
+            )
+        resident_children = dict(self._children.get(page.chain, {}))
+        swapped_children = [
+            child
+            for child in self._swapped.values()
+            if child.parent == page.chain
+        ]
+        self._cache_remove(page)
+        self._unregister(page)
+        head = KVPage(
+            page_id=self._next_id,
+            chain=head_chain,
+            parent=page.parent,
+            token_ids=head_ids,
+            payload=head_payload,
+            nbytes=int(head_nbytes),
+            fp16_nbytes=int(head_fp16),
+            hits=page.hits,
+            last_used=page.last_used,
+            cached_at=page.cached_at,
+        )
+        tail = KVPage(
+            page_id=self._next_id + 1,
+            chain=tail_chain,
+            parent=head_chain,
+            token_ids=tail_ids,
+            payload=tail_payload,
+            nbytes=int(tail_nbytes),
+            fp16_nbytes=int(tail_fp16),
+            hits=page.hits,
+            last_used=page.last_used,
+            cached_at=page.cached_at,
+        )
+        self._next_id += 2
+        self._register(head)
+        self._register(tail)
+        self.bytes_resident += page.nbytes
+        self.fp16_bytes_resident += page.fp16_nbytes
+        # Re-parent the old page's children under the tail (their chain
+        # identities are untouched — only the edge moves).
+        for child_chain, child_id in resident_children.items():
+            child = self._pages[child_id]
+            if self.trie is not None:
+                self.trie.reparent(child, tail_chain)
+            else:
+                child.parent = tail_chain
+            self._children.setdefault(tail_chain, {})[child_chain] = child_id
+        self._children.pop(page.chain, None)
+        for child in swapped_children:
+            child.parent = tail_chain
+        # Both halves go back into the cache with the original page's
+        # age and hit history (a split is bookkeeping, not a use).
+        self._cache_insert(tail)
+        self._cache_insert(head)
+        self.stats["pages_split"] += 1
+        self.stats["split_tokens_salvaged"] += head_tokens
+        return head, tail
+
+    # ------------------------------------------------------------------
+    # Pages: acquire / release / swap.
+    # ------------------------------------------------------------------
     def acquire(
         self,
         chain: str,
@@ -323,11 +651,12 @@ class PagedKVPool:
         """
         existing = self.peek(chain)
         if existing is not None:
-            if existing.ref_count == 0:  # prefix-cache hit: re-pin it
-                self._cached.pop(existing.page_id, None)
-                self.bytes_evictable -= existing.nbytes
+            if existing.ref_count == 0 and existing.page_id in self._cached:
+                self._cache_remove(existing)  # prefix-cache hit: re-pin
                 self.stats["prefix_cache_hits"] += 1
             existing.ref_count += 1
+            existing.hits += 1
+            existing.last_used = self._clock()
             self.stats["pages_shared"] += 1
             self.stats["shared_bytes_saved"] += existing.nbytes
             self.stats["shared_fp16_bytes_saved"] += existing.fp16_nbytes
@@ -343,6 +672,7 @@ class PagedKVPool:
             nbytes=int(nbytes),
             fp16_nbytes=int(fp16_nbytes),
             ref_count=1,
+            last_used=self._clock(),
         )
         self._next_id += 1
         self._register(page)
@@ -358,9 +688,17 @@ class PagedKVPool:
         self._children.setdefault(page.parent, {}).setdefault(
             page.chain, page.page_id
         )
+        if self.trie is not None:
+            self.trie.insert(page)
+        # The parent gained a resident child: it is no longer a leaf.
+        parent_id = self._index.get(page.parent)
+        if parent_id is not None:
+            self._leaf_cached.pop(parent_id, None)
 
     def _unregister(self, page: KVPage) -> None:
         del self._pages[page.page_id]
+        if self.trie is not None:
+            self.trie.remove(page)
         if self._index.get(page.chain) == page.page_id:
             del self._index[page.chain]
         siblings = self._children.get(page.parent)
@@ -370,6 +708,12 @@ class PagedKVPool:
                 del self._children[page.parent]
         self.bytes_resident -= page.nbytes
         self.fp16_bytes_resident -= page.fp16_nbytes
+        # The parent may just have lost its last resident child: if it
+        # is sitting in the cache, it becomes an eviction leaf.
+        if not self._children.get(page.parent):
+            parent_id = self._index.get(page.parent)
+            if parent_id is not None and parent_id in self._cached:
+                self._leaf_add(self._pages[parent_id])
 
     def _reachable(self, parent: str) -> bool:
         """Can a prefix-match walk reach a page chained off ``parent``?"""
@@ -390,7 +734,7 @@ class PagedKVPool:
                 # rather than letting them squat in the budget.
                 for child in self._resident_children(page.chain):
                     if child.page_id in self._cached:
-                        self._evict_page(child)
+                        self._evict_page(child, reason="cascade")
                 self._unregister(page)
                 self._swapped[page.page_id] = page
                 self.bytes_swapped += page.nbytes
@@ -400,8 +744,10 @@ class PagedKVPool:
                 self._unregister(page)
                 self.stats["pages_freed"] += 1
                 return
-            self._cached[page.page_id] = page
-            self.bytes_evictable += page.nbytes
+            now = self._clock()
+            page.last_used = now
+            page.cached_at = now
+            self._cache_insert(page)
         elif page.swapped_refs == 0 and page.page_id in self._swapped:
             del self._swapped[page.page_id]
             self.bytes_swapped -= page.nbytes
@@ -452,11 +798,15 @@ class PagedKVPool:
                 self.bytes_swapped -= page.nbytes
                 self.stats["pages_freed"] += 1
             substitute = self._pages[resident_id]
-            if substitute.ref_count == 0:  # sitting in the prefix cache
-                self._cached.pop(substitute.page_id, None)
-                self.bytes_evictable -= substitute.nbytes
+            if (
+                substitute.ref_count == 0
+                and substitute.page_id in self._cached
+            ):  # sitting in the prefix cache
+                self._cache_remove(substitute)
                 self.stats["prefix_cache_hits"] += 1
             substitute.ref_count += 1
+            substitute.hits += 1
+            substitute.last_used = self._clock()
             self.stats["pages_shared"] += 1
             self.stats["shared_bytes_saved"] += substitute.nbytes
             self.stats["shared_fp16_bytes_saved"] += substitute.fp16_nbytes
@@ -466,6 +816,7 @@ class PagedKVPool:
         self._register(page)
         self.bytes_swapped -= page.nbytes
         page.ref_count += 1
+        page.last_used = self._clock()
         self._bump(page.nbytes, page.fp16_nbytes)
         self.stats["swap_in_bytes"] += page.nbytes
         return page
@@ -547,8 +898,9 @@ class PagedKVPool:
         """Cached pages no prefix-match walk from ``ROOT_CHAIN`` reaches.
 
         These are pure waste — lookup can never hit them — so the
-        chain-aware eviction and demotion paths must keep this empty; a
-        non-empty return is an invariant violation tests fail on.
+        chain-aware eviction, demotion and split paths must keep this
+        empty; a non-empty return is an invariant violation tests fail
+        on.
         """
         reachable = {ROOT_CHAIN}
         frontier = [ROOT_CHAIN]
@@ -563,11 +915,30 @@ class PagedKVPool:
             if page.chain not in reachable
         ]
 
+    def leaf_index_violations(self) -> list[str]:
+        """Disagreements between the incremental leaf index and a ground
+        truth recomputation — must be empty (tests assert it)."""
+        truth = {
+            page.page_id
+            for page in self._cached.values()
+            if not self._children.get(page.chain)
+        }
+        indexed = set(self._leaf_cached)
+        out = []
+        for pid in sorted(truth - indexed):
+            out.append(f"page {pid} is a cache leaf but not indexed")
+        for pid in sorted(indexed - truth):
+            out.append(f"page {pid} is indexed as a leaf but is not one")
+        return out
+
     def snapshot(self) -> dict:
         """Current occupancy + lifetime counters (for reports)."""
         return {
             "byte_budget": self.byte_budget,
             "page_tokens": self.page_tokens,
+            "trie_enabled": self.trie is not None,
+            "ttl_s": self.ttl_s,
+            "split_min_tokens": self.split_min_tokens,
             "bytes_resident": self.bytes_resident,
             "bytes_active": self.bytes_active,
             "bytes_evictable": self.bytes_evictable,
@@ -578,5 +949,12 @@ class PagedKVPool:
             "resident_pages": self.num_resident_pages,
             "swapped_pages": self.num_swapped_pages,
             "cached_pages": self.num_cached_pages,
+            "leaf_cached_pages": len(self._leaf_cached),
+            "matched_prefix_hist": dict(
+                sorted(
+                    self.matched_prefix_hist.items(),
+                    key=lambda kv: int(kv[0].split("-")[0]),
+                )
+            ),
             **self.stats,
         }

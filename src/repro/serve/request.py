@@ -36,6 +36,9 @@ class RequestMetrics:
     #: tokens re-encoded despite the cache = ``prompt_len - cached_tokens``.
     cached_tokens: int = 0
     cached_pages: int = 0
+    #: The slice of ``cached_tokens`` salvaged by a partial-page split
+    #: (the match ended mid-page and the pool split at the divergence).
+    split_tokens: int = 0
 
     @property
     def ttft_s(self) -> float | None:

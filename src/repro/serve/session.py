@@ -107,6 +107,7 @@ class Session:
                     "prompt_tokens": request.prompt_len,
                     "cached_tokens": m.cached_tokens,
                     "cached_pages": m.cached_pages,
+                    "split_tokens": m.split_tokens,
                     "reencoded_tokens": request.prompt_len - m.cached_tokens,
                     "generated_tokens": len(request.generated),
                     "ttft_s": m.ttft_s,

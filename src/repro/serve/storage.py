@@ -19,7 +19,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import KV_CONFIG, KVCacheCodec, KVCacheStream
+from repro.core import (
+    KV_CONFIG,
+    KVCacheCodec,
+    KVCacheStream,
+    split_token_segment,
+)
 from repro.llm.quantize import fit_kv_codec
 
 from .pool import ROOT_CHAIN, KVPage, PagedKVPool, chain_hash
@@ -32,6 +37,44 @@ def _parse_hook_name(name: str) -> tuple[int, str]:
     layer = int(name.split(".")[1])
     side = "keys" if name.endswith("k_cache") else "values"
     return layer, side
+
+
+def _split_page_payload(backend, payload: dict, head_tokens: int):
+    """Split every layer's K/V segments of a page payload at a token
+    boundary, in the ``PagedKVPool.split_page`` splitter protocol.
+
+    Returns ``(head_payload, head_nbytes, head_fp16_nbytes,
+    tail_payload, tail_nbytes, tail_fp16_nbytes)``.  Both storage
+    formats split without touching payload values — Ecco slices block
+    rows (per-token group padding makes each token's blocks
+    self-contained), fp16 slices array rows — so the halves decode
+    bit-exactly to what a fresh encode of each slice would produce and
+    the byte totals are conserved exactly.
+    """
+    head_payload: dict = {}
+    tail_payload: dict = {}
+    head_nbytes = tail_nbytes = 0
+    for layer, (k_seg, v_seg) in payload.items():
+        k_head, k_tail = backend.split_segment(k_seg, head_tokens)
+        v_head, v_tail = backend.split_segment(v_seg, head_tokens)
+        head_payload[layer] = (k_head, v_head)
+        tail_payload[layer] = (k_tail, v_tail)
+        head_nbytes += backend.segment_nbytes(k_head)
+        head_nbytes += backend.segment_nbytes(v_head)
+        tail_nbytes += backend.segment_nbytes(k_tail)
+        tail_nbytes += backend.segment_nbytes(v_tail)
+    per_fp16 = backend.per_token_fp16_nbytes
+    tail_tokens = next(
+        backend.segment_tokens(pair[0]) for pair in tail_payload.values()
+    )
+    return (
+        head_payload,
+        head_nbytes,
+        head_tokens * per_fp16,
+        tail_payload,
+        tail_nbytes,
+        tail_tokens * per_fp16,
+    )
 
 
 class RequestKV:
@@ -68,6 +111,9 @@ class RequestKV:
         self._warm = False
         #: Prompt tokens served straight from the prefix cache.
         self.attached_tokens = 0
+        #: The slice of ``attached_tokens`` salvaged by a partial-page
+        #: split (zero when the match ended on a page boundary).
+        self.split_tokens = 0
         self._released = False
         # Page hash chain over the prompt's full pages.
         P = self.page_tokens
@@ -208,11 +254,15 @@ class RequestKV:
     def attach_cached_prefix(self) -> int:
         """Pin resident pages covering a prompt prefix; returns tokens.
 
-        Walks the pool's hash chain for the longest resident match (full
-        prompt pages *and* promoted conversation tails, so turn N+1 of a
-        chat finds everything turn N left behind), pins each page and
-        appends its payload to the layer state by reference — no forward
-        pass, no re-encode.  At least one prompt token is always left
+        Asks the pool's token-level trie for the longest resident match
+        (full prompt pages *and* promoted conversation tails, so turn
+        N+1 of a chat finds everything turn N left behind), pins each
+        page and appends its payload to the layer state by reference —
+        no forward pass, no re-encode.  A *partial* match — the prompt
+        diverges inside a cached page — splits that page at the
+        divergence point (bit-exact, no bytes move) and attaches the
+        shared head too; the salvaged tokens are reported in
+        ``split_tokens``.  At least one prompt token is always left
         unmatched (something must be forwarded to produce logits).  On a
         match the request switches to warm ingestion: the remaining
         suffix arrives through ``begin_chunk``/``ingest_chunk``/
@@ -222,11 +272,36 @@ class RequestKV:
         """
         if self.token_ids or self.pages:
             raise RuntimeError("attach_cached_prefix before any ingestion")
-        matched = self.pool.match_prefix(self.prompt_ids)
+        match = self.pool.lookup_prefix(self.prompt_ids)
+        matched = list(match.pages)
         total = sum(page.num_tokens for page in matched)
+        trimmed = False
         while matched and total >= len(self.prompt_ids):
             total -= matched[-1].num_tokens
             matched.pop()
+            trimmed = True
+        # A partial node sits immediately past the full matches, so it
+        # is only attachable when none of them were trimmed away.  Cap
+        # the head so at least one prompt token stays unmatched, and
+        # split only when the pool allows it (the page must be cached
+        # and unreferenced — splitting under a live tenant is unsound)
+        # and the salvage clears the cost-aware floor: a head shorter
+        # than ``split_min_tokens`` costs more in block copies and
+        # per-page overhead than re-encoding it would.
+        if match.partial is not None and not trimmed:
+            head_tokens = min(
+                match.partial_tokens, len(self.prompt_ids) - 1 - total
+            )
+            if head_tokens >= self.pool.split_min_tokens:
+                split = self.pool.split_page(
+                    match.partial,
+                    head_tokens,
+                    self.backend.split_page_payload,
+                )
+                if split is not None:
+                    matched.append(split[0])
+                    total += head_tokens
+                    self.split_tokens = head_tokens
         if not matched:
             return 0
         self.begin_ingest()
@@ -779,6 +854,19 @@ class EccoKVBackend:
     def segment_nbytes(segment) -> int:
         return int(segment.nbytes)
 
+    @staticmethod
+    def segment_tokens(segment) -> int:
+        return int(segment.token_shape[0])
+
+    @staticmethod
+    def split_segment(segment, head_tokens: int):
+        """Split one compressed segment at a token boundary — a pure
+        block-row slice, bit-exact vs fresh encodes of both halves."""
+        return split_token_segment(segment, head_tokens)
+
+    def split_page_payload(self, payload: dict, head_tokens: int):
+        return _split_page_payload(self, payload, head_tokens)
+
     def create_request(self, pool, prompt_ids, record_raw=False):
         return EccoRequestKV(self, pool, prompt_ids, record_raw)
 
@@ -804,6 +892,22 @@ class Fp16KVBackend:
     @staticmethod
     def segment_nbytes(segment) -> int:
         return int(segment.nbytes)
+
+    @staticmethod
+    def segment_tokens(segment) -> int:
+        return int(np.asarray(segment).shape[0])
+
+    @staticmethod
+    def split_segment(segment, head_tokens: int):
+        seg = np.asarray(segment)
+        # Copies, not views: evicting one half must free its bytes.
+        return (
+            np.ascontiguousarray(seg[:head_tokens]),
+            np.ascontiguousarray(seg[head_tokens:]),
+        )
+
+    def split_page_payload(self, payload: dict, head_tokens: int):
+        return _split_page_payload(self, payload, head_tokens)
 
     def create_request(self, pool, prompt_ids, record_raw=False):
         return Fp16RequestKV(self, pool, prompt_ids, record_raw)
