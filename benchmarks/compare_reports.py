@@ -62,6 +62,16 @@ GATES: dict[str, list[tuple[str, str, float | None, float | None]]] = {
         ("ttft_follower_speedup", "higher", None, None),
         ("trie.pool.budget_overruns", "lower", None, None),
     ],
+    "slo_serving.json": [
+        # Virtual-clock A/B: fully deterministic, tight thresholds.
+        ("ttft_p95_cut", "higher", None, None),
+        ("deadline.slo_ttft_attainment", "higher", None, None),
+        ("deadline.finished", "higher", None, None),
+        ("deadline.pool.budget_overruns", "lower", None, None),
+        # Retry storm: deterministic under its seed.
+        ("storm.completed", "higher", None, None),
+        ("storm.frontend.shed_rate", "lower", None, None),
+    ],
     "codec_throughput_streaming.json": [
         # Wall-clock codec throughput: gate collapses only.  The
         # speedup is a same-machine ratio, so it gets a tighter band.

@@ -5,24 +5,47 @@ capacity win becomes admitted-requests-per-byte-budget, and its
 bandwidth win becomes modeled KV-read traffic per decode step.  On top
 of the single engine sit trace-driven workloads (``repro.serve.workload``
 — seeded Poisson/bursty/diurnal arrivals over chat/RAG/agent scenario
-mixes, replayed on a virtual clock), a multi-replica front-end
+mixes, replayed on a virtual clock), a multi-replica router
 (``repro.serve.cluster`` — prefix-affinity + least-active-bytes routing
-with aggregated metrics), and multi-turn sessions
-(``repro.serve.session`` — turn N+1 submits the whole conversation and
-the pool's prefix cache serves the shared history without re-encoding a
-token).
+with aggregated metrics), multi-turn sessions (``repro.serve.session``
+— turn N+1 submits the whole conversation and the pool's prefix cache
+serves the shared history without re-encoding a token), and the
+event-driven front-end (``repro.serve.frontend`` — async token
+streaming to concurrent clients, per-tenant rate limits and weighted
+fairness, SLO-aware admission via pluggable scheduling policies from
+``repro.serve.scheduler``, and client retry/timeout modeling from
+``repro.serve.workload``).
 """
 
 from .cluster import ClusterRouter
 from .engine import ServingEngine
-from .metrics import EngineMetrics, decode_step_sectors, summarize_turns
+from .frontend import (
+    AsyncServingEngine,
+    RequestShedError,
+    RequestTimeoutError,
+    StreamHandle,
+)
+from .metrics import (
+    EngineMetrics,
+    decode_step_sectors,
+    latency_percentiles,
+    summarize_turns,
+)
 from .pool import BudgetExceededError, KVPage, PagedKVPool, chain_hash
 from .request import Request, RequestMetrics, RequestState
-from .scheduler import ContinuousBatchingScheduler
+from .scheduler import (
+    ContinuousBatchingScheduler,
+    DeadlinePolicy,
+    FCFSPolicy,
+    SchedulerPolicy,
+    make_policy,
+)
 from .session import Session, replay_sessions
+from .slo import SLO, next_deadline_s, slack_s, slo_attainment
 from .storage import EccoKVBackend, Fp16KVBackend, RequestKV
 from .trie import PrefixMatch, PrefixTrie, common_prefix_len
 from .workload import (
+    RetryPolicy,
     SessionTrace,
     SessionTurn,
     SessionWorkloadConfig,
@@ -35,15 +58,19 @@ from .workload import (
     generate_sessions,
     generate_trace,
     poisson_arrivals,
+    replay_open_loop,
     replay_trace,
 )
 
 __all__ = [
+    "AsyncServingEngine",
     "BudgetExceededError",
     "ClusterRouter",
     "ContinuousBatchingScheduler",
+    "DeadlinePolicy",
     "EccoKVBackend",
     "EngineMetrics",
+    "FCFSPolicy",
     "Fp16KVBackend",
     "KVPage",
     "PagedKVPool",
@@ -52,13 +79,19 @@ __all__ = [
     "Request",
     "RequestKV",
     "RequestMetrics",
+    "RequestShedError",
     "RequestState",
+    "RequestTimeoutError",
+    "RetryPolicy",
+    "SLO",
+    "SchedulerPolicy",
     "ServingEngine",
     "Session",
     "SessionTrace",
     "SessionTurn",
     "SessionWorkloadConfig",
     "StepCostModel",
+    "StreamHandle",
     "TraceRequest",
     "VirtualClock",
     "WorkloadConfig",
@@ -69,8 +102,14 @@ __all__ = [
     "diurnal_arrivals",
     "generate_sessions",
     "generate_trace",
+    "latency_percentiles",
+    "make_policy",
+    "next_deadline_s",
     "poisson_arrivals",
+    "replay_open_loop",
     "replay_sessions",
     "replay_trace",
+    "slack_s",
+    "slo_attainment",
     "summarize_turns",
 ]

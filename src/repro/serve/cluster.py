@@ -22,9 +22,10 @@ from __future__ import annotations
 import numpy as np
 
 from .engine import ServingEngine
-from .metrics import ttft_split
+from .metrics import latency_percentiles, ttft_split
 from .pool import ROOT_CHAIN, chain_hash
 from .request import Request
+from .slo import slo_attainment
 from .trie import common_prefix_len
 
 __all__ = ["ClusterRouter"]
@@ -39,6 +40,7 @@ class ClusterRouter:
         *,
         affinity_pages: int = 1,
         imbalance_factor: float = 2.0,
+        seed: int | None = None,
     ):
         if not engines:
             raise ValueError("a cluster needs at least one engine replica")
@@ -61,6 +63,13 @@ class ClusterRouter:
         self.page_tokens = page_tokens.pop()
         self.affinity_pages = int(affinity_pages)
         self.imbalance_factor = float(imbalance_factor)
+        #: Tie-breaking between equally-loaded replicas: without a seed
+        #: the lowest index wins (stable but biased toward replica 0);
+        #: with one, ties are broken by a seeded rng — deterministic
+        #: under the seed, yet spread across the tied replicas.
+        self._tiebreak_rng = (
+            None if seed is None else np.random.default_rng(seed)
+        )
         self._affinity: dict[str, int] = {}
         #: session id -> replica.  Session affinity is *hard*: a
         #: conversation's cached KV history exists on exactly one
@@ -115,6 +124,29 @@ class ClusterRouter:
         )
         return engine.pool.bytes_active + queued + swapped
 
+    def _pick_tied(self, indices: list[int]) -> int:
+        """One replica out of several equally-matched ones: the lowest
+        index by default, or a seeded-rng draw when the router was built
+        with a ``seed`` (deterministic under the seed, but unbiased
+        across the tied replicas instead of always hammering index 0)."""
+        if len(indices) == 1 or self._tiebreak_rng is None:
+            return indices[0]
+        return int(indices[int(self._tiebreak_rng.integers(len(indices)))])
+
+    def _least_loaded(self, candidates=None) -> int:
+        """The least-loaded replica (among ``candidates`` if given),
+        ties broken deterministically via :meth:`_pick_tied`."""
+        indices = (
+            list(candidates)
+            if candidates is not None
+            else list(range(len(self.engines)))
+        )
+        loads = [self._load(i) for i in indices]
+        best = min(loads)
+        return self._pick_tied(
+            [i for i, load in zip(indices, loads) if load == best]
+        )
+
     def _route(self, prompt: np.ndarray) -> tuple[int, str | None, str]:
         """Pick a replica; pure decision, no state change.
 
@@ -125,7 +157,10 @@ class ClusterRouter:
         actually accepted, so rejected traffic cannot skew routing.
         """
         loads = [self._load(i) for i in range(len(self.engines))]
-        lightest = int(np.argmin(loads))
+        floor = min(loads)
+        lightest = self._pick_tied(
+            [i for i, load in enumerate(loads) if load == floor]
+        )
         key = self._prefix_key(prompt)
         if key is None:
             return lightest, None, "miss"
@@ -147,6 +182,8 @@ class ClusterRouter:
         request_id: str | None = None,
         eos_token: int | None = None,
         session_id: str | None = None,
+        slo=None,
+        tenant: str | None = None,
     ) -> Request:
         """Place one request on a replica; returns the engine Request.
 
@@ -180,6 +217,8 @@ class ClusterRouter:
             request_id=request_id,
             eos_token=eos_token,
             session_id=session_id,
+            slo=slo,
+            tenant=tenant,
         )
 
     def _place(
@@ -192,6 +231,8 @@ class ClusterRouter:
         request_id: str | None = None,
         eos_token: int | None = None,
         session_id: str | None = None,
+        slo=None,
+        tenant: str | None = None,
     ) -> Request:
         """Commit one routing decision: mint the ID, submit to the chosen
         replica, and — only once the replica accepts — update IDs,
@@ -210,6 +251,8 @@ class ClusterRouter:
             request_id=request_id,
             eos_token=eos_token,
             session_id=session_id,
+            slo=slo,
+            tenant=tenant,
         )
         # Only an accepted request updates IDs, routing state and stats.
         if auto:
@@ -257,6 +300,8 @@ class ClusterRouter:
             dedup_min_tokens = self.page_tokens
         if dedup_min_tokens < 1:
             raise ValueError("dedup_min_tokens must be >= 1")
+        if not submissions:
+            return []
         results: list[Request | None] = [None] * len(submissions)
         loose: list[tuple[int, dict]] = []
         for order, sub in enumerate(submissions):
@@ -301,12 +346,11 @@ class ClusterRouter:
             ]
             best = max(probes)
             if best > 0:
-                index = min(
-                    (i for i, p in enumerate(probes) if p == best),
-                    key=self._load,
+                index = self._least_loaded(
+                    i for i, p in enumerate(probes) if p == best
                 )
             else:
-                index = min(range(len(self.engines)), key=self._load)
+                index = self._least_loaded()
             self.stats["dedup_groups"] += 1
             self.stats["dedup_grouped"] += len(group)
             key = self._prefix_key(shared)
@@ -320,6 +364,8 @@ class ClusterRouter:
                     request_id=sub.get("request_id"),
                     eos_token=sub.get("eos_token"),
                     session_id=sub.get("session_id"),
+                    slo=sub.get("slo"),
+                    tenant=sub.get("tenant"),
                 )
         return results
 
@@ -361,6 +407,9 @@ class ClusterRouter:
         ]
         requests = [r for e in self.engines for r in e.requests]
         ttfts, warm_ttfts, cold_ttfts = ttft_split(requests)
+        finished = [r for r in requests if r.metrics.finish_s is not None]
+        e2e = [r.metrics.e2e_s for r in finished]
+        inter = [gap for r in requests for gap in r.metrics.inter_token_s]
         summed = {
             key: sum(rep[key] for rep in replicas)
             for key in (
@@ -382,6 +431,7 @@ class ClusterRouter:
                 "hol_blocked_steps",
                 "hol_bypasses",
                 "preemptions",
+                "shed_requests",
                 "modeled_kv_read_bytes",
                 "modeled_kv_read_fp16_bytes",
                 "modeled_sectors",
@@ -402,6 +452,13 @@ class ClusterRouter:
             "ttft_s_mean_cold": (
                 float(np.mean(cold_ttfts)) if cold_ttfts else None
             ),
+            # Tail percentiles and SLO attainment are recomputed over
+            # the combined request population — percentiles of merged
+            # samples, not averages of per-replica percentiles.
+            **latency_percentiles(ttfts, "ttft_s"),
+            **latency_percentiles(inter, "inter_token_s"),
+            **latency_percentiles(e2e, "e2e_s"),
+            **slo_attainment(requests),
             "budget_overruns": overruns,
             "routing": {
                 "routed": list(self.stats["routed"]),

@@ -28,7 +28,7 @@ from repro.llm.model import ProxyModel
 from .metrics import EngineMetrics, decode_step_sectors
 from .pool import BudgetExceededError, PagedKVPool
 from .request import Request, RequestState
-from .scheduler import ContinuousBatchingScheduler
+from .scheduler import ContinuousBatchingScheduler, SchedulerPolicy
 from .storage import EccoKVBackend, Fp16KVBackend
 from .workload import StepCostModel
 
@@ -77,6 +77,7 @@ class ServingEngine:
         page_tokens: int = 8,
         max_batch_size: int = 8,
         watermark: float = 0.05,
+        policy: SchedulerPolicy | str = "fcfs",
         prefill_chunk_tokens: int | None = None,
         step_token_budget: int | None = None,
         hol_bypass_limit: int = 1,
@@ -113,8 +114,12 @@ class ServingEngine:
             split_min_tokens=split_min_tokens,
             clock=clock,
         )
+        #: ``policy`` selects the scheduling decisions (admission order,
+        #: preemption victim, load shedding): ``"fcfs"`` is the classic
+        #: arrival-order behaviour, ``"deadline"`` is SLO-aware EDF (see
+        #: ``repro.serve.scheduler``), or pass a SchedulerPolicy.
         self.scheduler = ContinuousBatchingScheduler(
-            max_batch_size=max_batch_size, watermark=watermark
+            max_batch_size=max_batch_size, watermark=watermark, policy=policy
         )
         if prefill_chunk_tokens is not None:
             if prefill_chunk_tokens < 1:
@@ -187,6 +192,8 @@ class ServingEngine:
         request_id: str | None = None,
         eos_token: int | None = None,
         session_id: str | None = None,
+        slo=None,
+        tenant: str | None = None,
     ) -> Request:
         """Queue one request; rejects requests that can never fit.
 
@@ -195,7 +202,10 @@ class ServingEngine:
         rejected or invalid request burns neither an ID nor a counter.
         ``session_id`` tags the request as one turn of a multi-turn
         conversation (see ``repro.serve.session``) for report
-        attribution and cluster session affinity.
+        attribution and cluster session affinity.  ``slo`` attaches
+        latency objectives (``repro.serve.slo.SLO``) the deadline-aware
+        policy schedules and sheds on; ``tenant`` tags the request for
+        the async front-end's per-tenant accounting.
         """
         request = Request(
             request_id="",
@@ -203,6 +213,8 @@ class ServingEngine:
             max_new_tokens=max_new_tokens,
             eos_token=eos_token,
             session_id=session_id,
+            slo=slo,
+            tenant=tenant,
         )
         if request_id is not None and request_id in self._used_ids:
             raise ValueError(f"duplicate request_id {request_id!r}")
@@ -262,7 +274,21 @@ class ServingEngine:
         # is fresh work queued behind the stuck head.
         blocked = head_stuck and bool(scheduler.waiting)
         bypassed = 0
-        while scheduler.waiting and scheduler.has_batch_room:
+        while scheduler.waiting:
+            now = self.clock()
+            # The policy picks the admission candidate (FCFS: queue
+            # head; deadline: earliest TTFT deadline) and may refuse it
+            # outright — a request whose SLO is already blown at
+            # admission is shed through the 429 path instead of burning
+            # prefill work on a token nobody is waiting for.  Shedding
+            # proceeds even with a full batch: it only clears backlog.
+            request = scheduler.peek_waiting(now)
+            if scheduler.policy.should_shed(request, now):
+                scheduler.shed(request)
+                self.metrics.shed_requests += 1
+                continue
+            if not scheduler.has_batch_room:
+                break
             if head_stuck and bypassed >= self.hol_bypass_limit:
                 break
             if (
@@ -274,7 +300,6 @@ class ServingEngine:
                 <= 0
             ):
                 break
-            request = scheduler.waiting[0]
             # Unified headroom formula: the prompt plus one decode token
             # of growth — exactly what the swapped path asks for — so a
             # fresh admission is never immediately preempted for lack of
@@ -487,7 +512,7 @@ class ServingEngine:
             need = len(scheduler.running) * self.backend.per_token_nbytes
             if pool.can_fit_with_eviction(need):
                 return
-            victim = scheduler.pick_victim()
+            victim = scheduler.pick_victim(self.clock())
             if victim is None:
                 raise RuntimeError(
                     f"KV byte budget cannot absorb this step's {need} B of "

@@ -18,12 +18,38 @@ import numpy as np
 
 from repro.memsys import A100, GPUParams, gemm_traffic
 
+from .slo import slo_attainment
+
 __all__ = [
     "EngineMetrics",
     "decode_step_sectors",
+    "latency_percentiles",
     "summarize_turns",
     "ttft_split",
 ]
+
+
+#: The tail percentiles every latency family reports.  Mean/max hide
+#: tail behaviour, and SLO work is all about tails: p99 is where a
+#: retry storm or a head-of-line stall actually shows up.
+PERCENTILES = (50, 95, 99)
+
+
+def latency_percentiles(values, prefix: str) -> dict:
+    """Flat ``{prefix}_p50/p95/p99`` keys for one latency family.
+
+    ``None`` values when the family is empty, so report consumers (and
+    the bench regression gate) can rely on the keys existing.
+    """
+    out: dict[str, float | None] = {}
+    if values:
+        arr = np.asarray(values, dtype=np.float64)
+        for p in PERCENTILES:
+            out[f"{prefix}_p{p}"] = float(np.percentile(arr, p))
+    else:
+        for p in PERCENTILES:
+            out[f"{prefix}_p{p}"] = None
+    return out
 
 
 def ttft_split(requests) -> tuple[list[float], list[float], list[float]]:
@@ -148,6 +174,10 @@ class EngineMetrics:
     #: requests admitted past it under the bounded bypass.
     hol_blocked_steps: int = 0
     hol_bypasses: int = 0
+    #: Requests refused at admission by the scheduling policy (SLO
+    #: already blown) — the load-shedding 429 path.  Budget rejections
+    #: at submit are *not* counted here; they never reach the queue.
+    shed_requests: int = 0
     peak_concurrency: int = 0
     batch_occupancy: list[int] = field(default_factory=list)
     modeled_sectors: float = 0.0
@@ -196,6 +226,11 @@ class EngineMetrics:
             ),
             "e2e_s_mean": float(np.mean(e2e)) if e2e else None,
             "inter_token_s_mean": float(np.mean(inter)) if inter else None,
+            **latency_percentiles(ttfts, "ttft_s"),
+            **latency_percentiles(inter, "inter_token_s"),
+            **latency_percentiles(e2e, "e2e_s"),
+            **slo_attainment(requests),
+            "shed_requests": self.shed_requests,
             "prefills": self.prefills,
             "decode_steps": self.decode_steps,
             "decode_tokens": self.decode_tokens,

@@ -16,6 +16,7 @@ class RequestState(enum.Enum):
     RUNNING = "running"        # in the decode batch, KV resident
     SWAPPED = "swapped"        # preempted; KV swapped out in compressed form
     FINISHED = "finished"      # done; KV released
+    SHED = "shed"              # refused at admission (SLO blown); no KV ever held
 
 
 @dataclass
@@ -87,6 +88,12 @@ class Request:
     #: Conversation this request is one turn of (``repro.serve.session``);
     #: ``None`` for standalone requests.
     session_id: str | None = None
+    #: Latency objectives (``repro.serve.slo.SLO``); read by the
+    #: deadline-aware scheduling policy, ignored by FCFS.
+    slo: object | None = None
+    #: Tenant this request bills to — the front-end's rate limits and
+    #: fairness act on it; the engine carries it for attribution only.
+    tenant: str | None = None
 
     def __post_init__(self) -> None:
         self.prompt = np.asarray(self.prompt, dtype=np.int64).reshape(-1)
@@ -108,6 +115,12 @@ class Request:
     def prefill_done(self) -> bool:
         """True once every prompt token has been ingested into the KV."""
         return self.prefill_pos >= self.prompt_len
+
+    @property
+    def terminal(self) -> bool:
+        """True once the engine will never touch this request again —
+        finished normally, or shed at admission by the policy."""
+        return self.state in (RequestState.FINISHED, RequestState.SHED)
 
     @property
     def finished(self) -> bool:

@@ -1,18 +1,19 @@
 """Multi-turn sessions: cross-turn compressed-KV reuse over the engine.
 
 A :class:`Session` is one conversation against a
-:class:`~repro.serve.engine.ServingEngine` or
-:class:`~repro.serve.cluster.ClusterRouter`: turn N+1 is submitted as
-the full history (every prior prompt and every generated token) plus
-the new user text.  Because a finished request's final partial page is
-promoted into the pool's hash chain at release, the next turn's
-admission attaches the *entire* stored history — full pages and the
-promoted tail alike — re-encoding nothing and forwarding only the new
-suffix through the model.  The session itself holds no KV: reuse rides
-entirely on the pool's prefix cache, so history survives engine
-restarts of the session object, competes fairly with other tenants for
-budget, and degrades gracefully (a partially evicted history simply
-re-encodes the evicted part).
+:class:`~repro.serve.engine.ServingEngine`, a
+:class:`~repro.serve.cluster.ClusterRouter`, or the async front-end
+(:class:`~repro.serve.frontend.AsyncServingEngine`): turn N+1 is
+submitted as the full history (every prior prompt and every generated
+token) plus the new user text.  Because a finished request's final
+partial page is promoted into the pool's hash chain at release, the
+next turn's admission attaches the *entire* stored history — full pages
+and the promoted tail alike — re-encoding nothing and forwarding only
+the new suffix through the model.  The session itself holds no KV:
+reuse rides entirely on the pool's prefix cache, so history survives
+engine restarts of the session object, competes fairly with other
+tenants for budget, and degrades gracefully (a partially evicted
+history simply re-encodes the evicted part).
 
 On a cluster, turns carry their ``session_id`` so the router pins the
 whole conversation to one replica — the only place its cached history
@@ -20,8 +21,10 @@ lives.
 
 :func:`replay_sessions` drives a generated
 :class:`~repro.serve.workload.SessionTrace` workload on a virtual
-clock: turn k+1 of each session is submitted once simulated time passes
-turn k's finish plus its seeded think-time gap.
+clock, as the second closed-loop client of the async front-end (the
+first is :func:`~repro.serve.workload.replay_trace`): each session is
+one coroutine that awaits its turn's stream, sleeps through the seeded
+think-time gap, and submits the next turn.
 """
 
 from __future__ import annotations
@@ -36,38 +39,80 @@ __all__ = ["Session", "replay_sessions"]
 
 
 class Session:
-    """One multi-turn conversation routed at a serving engine/cluster."""
+    """One multi-turn conversation routed at a serving engine/cluster.
 
-    def __init__(self, target, session_id: str, eos_token: int | None = None):
+    ``submit_turn`` returns whatever the target's ``submit`` returns —
+    an engine-side :class:`~repro.serve.request.Request` for the
+    synchronous targets, a stream handle for the async front-end; the
+    session tracks either transparently.
+    """
+
+    def __init__(
+        self,
+        target,
+        session_id: str,
+        eos_token: int | None = None,
+        slo=None,
+        tenant: str | None = None,
+    ):
         self.target = target
         self.session_id = str(session_id)
         self.eos_token = eos_token
+        self.slo = slo
+        self.tenant = tenant
         #: The conversation so far: every turn's prompt delta + reply.
         self.history = np.zeros(0, dtype=np.int64)
-        #: One engine request per submitted turn, in order.
-        self.requests: list[Request] = []
+        #: What ``submit`` returned for each turn, in order (Request or
+        #: stream handle).
+        self._submissions: list = []
+
+    @staticmethod
+    def _request_of(item) -> Request | None:
+        """The engine-side request behind one submission (``None`` while
+        a front-end handle still waits in a tenant queue)."""
+        if isinstance(item, Request):
+            return item
+        return item.request
+
+    @property
+    def requests(self) -> list[Request]:
+        """Engine-side requests of every dispatched turn, in order."""
+        resolved = (self._request_of(item) for item in self._submissions)
+        return [request for request in resolved if request is not None]
 
     @property
     def num_turns(self) -> int:
-        return len(self.requests)
+        return len(self._submissions)
 
     @property
-    def active(self) -> Request | None:
-        """The in-flight turn, or ``None`` between turns."""
-        if self.requests and self.requests[-1].metrics.finish_s is None:
-            return self.requests[-1]
-        return None
+    def active(self):
+        """The in-flight turn (request or queued handle), or ``None``
+        between turns.  A shed or timed-out turn is not active — its
+        stream will never produce the reply, so the conversation can
+        only move on without it."""
+        if not self._submissions:
+            return None
+        item = self._submissions[-1]
+        request = self._request_of(item)
+        if request is None:
+            # Front-end handle not yet dispatched: in flight unless the
+            # handle already failed (shed/rejected at the front door).
+            return None if item.done else item
+        return None if request.terminal else request
 
     def _fold_last_turn(self) -> None:
-        """Absorb the finished last turn into the history."""
-        last = self.requests[-1]
+        """Absorb the finished last turn into the history.  A turn that
+        never finished (rejected, shed, abandoned) contributes nothing —
+        its user text was never answered, so the next turn's prompt
+        drops it, exactly like a chat client discarding a failed send."""
+        last = self._request_of(self._submissions[-1])
+        if last is None or last.metrics.finish_s is None:
+            return
         self.history = np.concatenate(
             [last.prompt, np.asarray(last.generated, dtype=np.int64)]
         )
 
-    def submit_turn(
-        self, user_tokens: np.ndarray, max_new_tokens: int
-    ) -> Request:
+    def submit_turn(self, user_tokens: np.ndarray, max_new_tokens: int):
         """Submit the next turn: history + new user text.
 
         The previous turn must have finished (its reply is part of this
@@ -76,23 +121,28 @@ class Session:
         grown conversation can no longer ever fit the pool budget.
         """
         if self.active is not None:
+            last = self._submissions[-1]
+            request = self._request_of(last)
+            in_flight = request.request_id if request is not None else "queued"
             raise RuntimeError(
                 f"session {self.session_id!r}: previous turn "
-                f"{self.requests[-1].request_id!r} is still in flight"
+                f"{in_flight!r} is still in flight"
             )
-        if self.requests:
+        if self._submissions:
             self._fold_last_turn()
         user_tokens = np.asarray(user_tokens, dtype=np.int64).reshape(-1)
         prompt = np.concatenate([self.history, user_tokens])
-        request = self.target.submit(
+        item = self.target.submit(
             prompt,
             max_new_tokens,
             request_id=f"{self.session_id}/turn-{self.num_turns}",
             eos_token=self.eos_token,
             session_id=self.session_id,
+            slo=self.slo,
+            tenant=self.tenant,
         )
-        self.requests.append(request)
-        return request
+        self._submissions.append(item)
+        return item
 
     def turn_reports(self) -> list[dict]:
         """Per-turn reuse record: pages hit, tokens re-encoded, TTFT."""
@@ -126,93 +176,77 @@ def replay_sessions(
 ) -> dict:
     """Drive ``target`` through multi-turn session traces on a clock.
 
-    Each session's first turn arrives at its ``start_s``; turn k+1
-    arrives at turn k's finish plus the trace's seeded think-time gap.
-    Time accounting is either *synchronous* (the engine was built with
-    ``step_cost=`` and charges its own clock as work happens — leave
-    ``step_cost`` unset here) or replay-side (pass a ``step_cost``; each
-    ``target.step()`` is charged as one fused-step roofline, which is
-    also how a multi-replica cluster must be charged).  Turns the target
-    rejects outright (the grown conversation can never fit the budget)
-    abort their session and are counted.
+    Each session runs as one front-end client coroutine: its first turn
+    arrives at the trace's ``start_s``; turn k+1 arrives at turn k's
+    finish plus the trace's seeded think-time gap, with the stream
+    awaited in between.  Time accounting is either *synchronous* (the
+    engine was built with ``step_cost=`` and charges its own clock as
+    work happens — leave ``step_cost`` unset here) or replay-side (pass
+    a ``step_cost``; the front-end pump charges each fused step's
+    roofline, which is also how a multi-replica cluster must be
+    charged).  Turns the target rejects outright (the grown
+    conversation can never fit the budget) or sheds at admission (SLO
+    blown under a deadline policy) abort their session and are counted.
 
     Returns replay totals plus the live :class:`Session` objects under
     ``"sessions"`` — feed their ``turn_reports()`` to
     :func:`repro.serve.metrics.summarize_turns` for the reuse summary.
     """
-    engine_charges = getattr(target, "step_cost", None) is not None
-    if step_cost is not None and engine_charges:
-        raise ValueError(
-            "target already charges its own clock (step_cost set on the "
-            "engine); passing a replay-side step_cost would double-count"
+    from .frontend import AsyncServingEngine, RequestShedError
+
+    if isinstance(target, AsyncServingEngine):
+        frontend = target
+    else:
+        engine_charges = getattr(target, "step_cost", None) is not None
+        if step_cost is not None and engine_charges:
+            raise ValueError(
+                "target already charges its own clock (step_cost set on "
+                "the engine); passing a replay-side step_cost would "
+                "double-count"
+            )
+        if step_cost is None and not engine_charges:
+            step_cost = StepCostModel()
+        frontend = AsyncServingEngine(
+            target, step_cost=step_cost, max_steps=max_steps
         )
-    if step_cost is None and not engine_charges:
-        step_cost = StepCostModel()
+    sessions = [Session(frontend, trace.session_id) for trace in traces]
+    counts = {"submitted": 0, "rejected": 0}
 
-    states = [
-        {
-            "trace": trace,
-            "session": Session(target, trace.session_id),
-            "next": 0,
-            "ready_s": trace.start_s,
-            "request": None,
-        }
-        for trace in traces
-    ]
-    submitted = rejected = steps = tokens = 0
+    async def _drive(trace: SessionTrace, session: Session) -> None:
+        ready = trace.start_s
+        for turn in trace.turns:
+            await frontend.sleep_until(ready)
+            try:
+                handle = session.submit_turn(
+                    turn.user_tokens, turn.max_new_tokens
+                )
+            except BudgetExceededError:
+                counts["rejected"] += 1
+                return  # abort: every later turn needs this one's reply
+            # TTFT anchors on when the user hit enter, not on the step
+            # boundary where the submit landed.
+            handle.anchor_arrival(ready)
+            counts["submitted"] += 1
+            try:
+                await handle.result()
+            except RequestShedError:
+                counts["rejected"] += 1
+                return
+            finish = handle.request.metrics.finish_s
+            next_index = session.num_turns
+            if next_index < trace.num_turns:
+                ready = finish + trace.turns[next_index].think_s
 
-    def pending(state) -> bool:
-        return state["next"] < state["trace"].num_turns
-
-    while True:
-        for state in states:
-            request = state["request"]
-            if request is not None:
-                if request.metrics.finish_s is None:
-                    continue
-                state["request"] = None
-                if pending(state):
-                    gap = state["trace"].turns[state["next"]].think_s
-                    state["ready_s"] = request.metrics.finish_s + gap
-            if pending(state) and state["ready_s"] <= clock.now_s:
-                turn = state["trace"].turns[state["next"]]
-                try:
-                    request = state["session"].submit_turn(
-                        turn.user_tokens, turn.max_new_tokens
-                    )
-                except BudgetExceededError:
-                    rejected += 1
-                    state["next"] = state["trace"].num_turns  # abort
-                else:
-                    # TTFT anchors on when the user hit enter, not on
-                    # the step boundary where the submit landed.
-                    request.metrics.arrival_s = state["ready_s"]
-                    state["request"] = request
-                    state["next"] += 1
-                    submitted += 1
-        if target.has_work:
-            if steps >= max_steps:
-                raise RuntimeError(f"replay did not drain in {max_steps} steps")
-            tokens += target.step()
-            steps += 1
-            if not engine_charges:
-                clock.advance(step_cost(target.last_step))
-        else:
-            upcoming = [
-                state["ready_s"]
-                for state in states
-                if state["request"] is None and pending(state)
-            ]
-            if not upcoming:
-                break
-            clock.jump_to(min(upcoming))
+    frontend.drive(
+        *(_drive(trace, s) for trace, s in zip(traces, sessions))
+    )
     return {
-        "sessions": [state["session"] for state in states],
-        "num_sessions": len(states),
+        "sessions": sessions,
+        "num_sessions": len(sessions),
         "turns_total": sum(trace.num_turns for trace in traces),
-        "turns_submitted": submitted,
-        "turns_rejected": rejected,
-        "steps": steps,
-        "tokens_processed": tokens,
+        "turns_submitted": counts["submitted"],
+        "turns_rejected": counts["rejected"],
+        "steps": frontend.steps,
+        "tokens_processed": frontend.tokens_processed,
         "simulated_s": clock.now_s,
     }

@@ -1,0 +1,126 @@
+"""Per-request service-level objectives for the serving stack.
+
+An :class:`SLO` states what a request's latency is *supposed* to be:
+time to first token (queueing + prefill), the per-token decode gap, and
+optionally end-to-end completion.  The deadline-aware scheduling policy
+(:class:`~repro.serve.scheduler.DeadlinePolicy`) turns those targets
+into admission order (earliest TTFT deadline first), preemption choice
+(displace the request with the most slack) and load shedding (a request
+whose TTFT deadline has already passed before its prefill even started
+is refused instead of served late — the same 429 path a budget
+rejection takes).
+
+Deadlines are computed against the engine's clock — wall or virtual —
+so SLO behaviour is exactly as deterministic as the replay driving it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["SLO", "next_deadline_s", "slack_s", "slo_attainment"]
+
+
+@dataclass(frozen=True)
+class SLO:
+    """Latency targets for one request; ``None`` means "no objective".
+
+    ``ttft_s`` bounds arrival -> first token, ``inter_token_s`` bounds
+    the gap between consecutive decode tokens, ``e2e_s`` bounds arrival
+    -> last token.  All targets are in (simulated or wall) seconds.
+    """
+
+    ttft_s: float | None = None
+    inter_token_s: float | None = None
+    e2e_s: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("ttft_s", "inter_token_s", "e2e_s"):
+            value = getattr(self, name)
+            if value is not None and not value > 0:
+                raise ValueError(f"{name} must be positive, got {value!r}")
+
+    @property
+    def has_deadline(self) -> bool:
+        return any(
+            target is not None
+            for target in (self.ttft_s, self.inter_token_s, self.e2e_s)
+        )
+
+
+def next_deadline_s(request) -> float:
+    """When the request's *next* token is due, in clock seconds.
+
+    Before the first token: the TTFT deadline (arrival + ``ttft_s``).
+    After it: the inter-token deadline (last token + ``inter_token_s``),
+    bounded by the e2e deadline when one is set.  Requests without an
+    applicable objective get ``+inf`` — they are never "late".
+    """
+    slo: SLO | None = getattr(request, "slo", None)
+    if slo is None:
+        return math.inf
+    deadline = math.inf
+    metrics = request.metrics
+    if metrics.first_token_s is None:
+        if slo.ttft_s is not None:
+            deadline = metrics.arrival_s + slo.ttft_s
+    elif slo.inter_token_s is not None:
+        deadline = metrics.token_s[-1] + slo.inter_token_s
+    if slo.e2e_s is not None:
+        deadline = min(deadline, metrics.arrival_s + slo.e2e_s)
+    return deadline
+
+
+def slack_s(request, now: float) -> float:
+    """Seconds until the request's next deadline (negative = already
+    late, ``+inf`` = no objective).  The deadline policy preempts the
+    request with the *most* slack: the one that can best absorb a swap
+    round-trip without blowing its SLO."""
+    return next_deadline_s(request) - now
+
+
+def slo_attainment(requests) -> dict:
+    """Did the requests that declared SLOs actually meet them?
+
+    Returns flat counters (summable across cluster replicas) plus
+    attainment fractions.  A request meets its TTFT objective if its
+    first token landed within ``ttft_s`` of arrival; it meets its
+    inter-token objective if *every* decode gap stayed within
+    ``inter_token_s``.  Requests that never produced a first token
+    (shed, or still queued at report time) count as TTFT misses — load
+    shedding is a policy choice, not an accounting trick.
+    """
+    slo_requests = ttft_met = ttft_missed = itl_met = itl_missed = 0
+    for request in requests:
+        slo: SLO | None = getattr(request, "slo", None)
+        if slo is None or not slo.has_deadline:
+            continue
+        slo_requests += 1
+        metrics = request.metrics
+        if slo.ttft_s is not None:
+            ttft = metrics.ttft_s
+            if ttft is not None and ttft <= slo.ttft_s:
+                ttft_met += 1
+            else:
+                ttft_missed += 1
+        if slo.inter_token_s is not None:
+            gaps = metrics.inter_token_s
+            if all(gap <= slo.inter_token_s for gap in gaps):
+                itl_met += 1
+            else:
+                itl_missed += 1
+
+    def _frac(met: int, missed: int) -> float | None:
+        total = met + missed
+        return met / total if total else None
+
+    return {
+        "slo_requests": slo_requests,
+        "slo_ttft_met": ttft_met,
+        "slo_ttft_missed": ttft_missed,
+        "slo_itl_met": itl_met,
+        "slo_itl_missed": itl_missed,
+        "slo_ttft_attainment": _frac(ttft_met, ttft_missed),
+        "slo_itl_attainment": _frac(itl_met, itl_missed),
+    }

@@ -34,6 +34,7 @@ import numpy as np
 from .pool import BudgetExceededError
 
 __all__ = [
+    "RetryPolicy",
     "SessionTrace",
     "SessionTurn",
     "SessionWorkloadConfig",
@@ -46,6 +47,7 @@ __all__ = [
     "generate_sessions",
     "generate_trace",
     "poisson_arrivals",
+    "replay_open_loop",
     "replay_trace",
 ]
 
@@ -144,6 +146,12 @@ class TraceRequest:
     prompt: np.ndarray
     max_new_tokens: int
     scenario: str = "chat"
+    #: Optional serving annotations: the tenant the request bills to and
+    #: its latency objectives (``repro.serve.slo.SLO``).  ``None`` means
+    #: default tenant / no deadline; the generators leave them unset and
+    #: benchmarks decorate the trace afterwards.
+    tenant: str | None = None
+    slo: object | None = None
 
 
 @dataclass
@@ -431,12 +439,19 @@ class VirtualClock:
         return self.now_s
 
     def advance(self, dt_s: float) -> None:
-        if dt_s < 0:
-            raise ValueError("time only moves forward")
+        # Inverted comparison so NaN (for which every comparison is
+        # False) is rejected too, not silently smeared into the clock.
+        if not (dt_s >= 0.0):
+            raise ValueError(
+                f"time only moves forward (advance by {dt_s!r})"
+            )
         self.now_s += dt_s
 
     def jump_to(self, t_s: float) -> None:
-        self.now_s = max(self.now_s, float(t_s))
+        t_s = float(t_s)
+        if not (t_s == t_s):  # NaN guard
+            raise ValueError("cannot jump the clock to NaN")
+        self.now_s = max(self.now_s, t_s)
 
 
 @dataclass
@@ -467,14 +482,25 @@ class StepCostModel:
 
     def __call__(self, last_step) -> float:
         """Cost of one step composition (a cluster passes a list of
-        per-replica compositions: concurrent replicas cost the max)."""
+        per-replica compositions: concurrent replicas cost the max).
+
+        A step that did no work costs *nothing*: charging is idempotent
+        over zero-token steps, so a driver polling an idle engine cannot
+        smear phantom seconds into the clock.  Drivers that need time to
+        move through a genuine stall (nothing admitted, nothing decoded,
+        but the queue is non-empty) apply ``base_s`` themselves as an
+        explicit fallback tick — see the front-end pump.
+        """
         if isinstance(last_step, list):
             if not last_step:
-                return self.base_s
+                return 0.0
             return max(self(entry) for entry in last_step)
         tokens = last_step["prefill_tokens"] + last_step["decode_tokens"]
+        kv_read = float(last_step["kv_read_bytes"])
+        if tokens == 0 and kv_read == 0.0:
+            return 0.0
         compute = self.compute_s_per_token * float(tokens)
-        bandwidth = self.bw_s_per_byte * float(last_step["kv_read_bytes"])
+        bandwidth = self.bw_s_per_byte * kv_read
         return self.base_s + max(compute, bandwidth)
 
     # Component charges for *synchronous* charging: an engine built with
@@ -484,14 +510,33 @@ class StepCostModel:
     # on an idle engine).  The fused-step roofline above stays the
     # replay-side model; use one or the other per engine, never both.
     def prefill_s(self, tokens: int) -> float:
-        """Simulated cost of forwarding ``tokens`` prompt tokens."""
+        """Simulated cost of forwarding ``tokens`` prompt tokens
+        (zero tokens cost zero — charging stays idempotent)."""
+        if tokens == 0:
+            return 0.0
         return self.base_s + self.compute_s_per_token * float(tokens)
 
     def decode_s(self, decode_tokens: int, kv_read_bytes: float) -> float:
-        """Simulated cost of one batched decode step (two-lane max)."""
+        """Simulated cost of one batched decode step (two-lane max;
+        an empty step costs zero)."""
+        if decode_tokens == 0 and kv_read_bytes == 0.0:
+            return 0.0
         compute = self.compute_s_per_token * float(decode_tokens)
         bandwidth = self.bw_s_per_byte * float(kv_read_bytes)
         return self.base_s + max(compute, bandwidth)
+
+
+def _as_frontend(target, step_cost, max_steps):
+    """Wrap ``target`` in an :class:`AsyncServingEngine` unless it
+    already is one.  Imported lazily — the front-end imports this
+    module for :class:`StepCostModel`."""
+    from .frontend import AsyncServingEngine
+
+    if isinstance(target, AsyncServingEngine):
+        return target
+    return AsyncServingEngine(
+        target, step_cost=step_cost, max_steps=max_steps
+    )
 
 
 def replay_trace(
@@ -503,58 +548,195 @@ def replay_trace(
 ) -> dict:
     """Drive ``target`` (engine or cluster) through a timed trace.
 
-    ``target`` needs ``submit(prompt, max_new_tokens)``, ``step()``
-    returning tokens processed, and ``has_work`` — both
-    :class:`~repro.serve.engine.ServingEngine` and
-    :class:`~repro.serve.cluster.ClusterRouter` qualify, provided they
-    were built with this same ``clock``.  Requests are submitted once
-    simulated time reaches their arrival (their recorded arrival time
-    is the *trace* time, so TTFT includes sub-step queueing); requests
-    the pool can never hold are counted as rejected, mirroring a
-    front-end returning 429.  Returns replay totals; latency metrics
-    live in the target's own report.
+    One of the two closed-loop clients of the async front-end
+    (:class:`~repro.serve.frontend.AsyncServingEngine` — the other is
+    :func:`~repro.serve.session.replay_sessions`): each trace arrival
+    becomes a coroutine that sleeps until its arrival time and submits,
+    while the front-end pump steps the engine and advances this same
+    ``clock`` by the :class:`StepCostModel` roofline per step.
+    Requests record the *trace* arrival time, so TTFT includes sub-step
+    queueing; requests the pool can never hold are counted as rejected
+    (the 429 path), and requests the scheduling policy sheds at
+    admission are counted separately.  Returns replay totals; latency
+    metrics live in the target's own report.
     """
-    if getattr(target, "step_cost", None) is not None:
+    from .frontend import AsyncServingEngine, RequestShedError
+
+    if (
+        not isinstance(target, AsyncServingEngine)
+        and getattr(target, "step_cost", None) is not None
+    ):
         raise ValueError(
             "target already charges its own clock (step_cost set on the "
             "engine); replay_trace's per-step charge would double-count "
             "— drop one of the two"
         )
-    if step_cost is None:
-        step_cost = StepCostModel()
+    frontend = _as_frontend(target, step_cost, max_steps)
     order = sorted(range(len(trace)), key=lambda i: trace[i].arrival_s)
-    submitted = rejected = steps = 0
-    tokens = 0
-    i = 0
-    while i < len(order) or target.has_work:
-        if not target.has_work and i < len(order):
-            clock.jump_to(trace[order[i]].arrival_s)
-        while i < len(order) and trace[order[i]].arrival_s <= clock.now_s:
-            item = trace[order[i]]
-            try:
-                request = target.submit(item.prompt, item.max_new_tokens)
-            except BudgetExceededError:
-                rejected += 1
-            else:
-                # TTFT is measured from the trace arrival, not from the
-                # step boundary where the submit landed.
-                request.metrics.arrival_s = item.arrival_s
-                submitted += 1
-            i += 1
-        if target.has_work:
-            if steps >= max_steps:
-                raise RuntimeError(
-                    f"replay did not drain in {max_steps} steps"
-                )
-            step_tokens = target.step()
-            tokens += step_tokens
-            steps += 1
-            clock.advance(step_cost(target.last_step))
+    counts = {"submitted": 0, "rejected": 0, "shed": 0}
+
+    async def _client(item: TraceRequest) -> None:
+        await frontend.sleep_until(item.arrival_s)
+        try:
+            frontend.submit(
+                item.prompt,
+                item.max_new_tokens,
+                slo=item.slo,
+                tenant=item.tenant,
+                arrival_s=item.arrival_s,
+            )
+        except RequestShedError:
+            counts["shed"] += 1
+        except BudgetExceededError:
+            counts["rejected"] += 1
+        else:
+            counts["submitted"] += 1
+
+    frontend.drive(*(_client(trace[i]) for i in order))
     return {
         "trace_requests": len(trace),
-        "submitted": submitted,
-        "rejected": rejected,
-        "steps": steps,
-        "tokens_processed": tokens,
+        "submitted": counts["submitted"],
+        "rejected": counts["rejected"] + counts["shed"],
+        "steps": frontend.steps,
+        "tokens_processed": frontend.tokens_processed,
         "simulated_s": clock.now_s,
+    }
+
+
+# ----------------------------------------------------------------------
+# Open-loop client: timeouts and retries.
+# ----------------------------------------------------------------------
+
+@dataclass
+class RetryPolicy:
+    """Client-side retry/timeout behaviour for the open-loop replayer.
+
+    ``timeout_s`` is the per-attempt client deadline (``None`` = wait
+    forever); a timed-out attempt abandons its stream but the engine
+    keeps generating — the wasted work is the point.  Backoff between
+    attempts is exponential with seeded uniform jitter:
+    ``base_backoff_s * multiplier**k * (1 + jitter * u)``, ``u ~ U[0,1)``.
+    """
+
+    max_attempts: int = 3
+    timeout_s: float | None = None
+    base_backoff_s: float = 0.25
+    backoff_multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        if self.base_backoff_s < 0 or self.jitter < 0:
+            raise ValueError("backoff and jitter must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+
+    def backoff_s(self, attempt: int, u: float) -> float:
+        """Delay before retry number ``attempt`` (1-based), given a
+        pre-drawn uniform jitter sample ``u``."""
+        scale = self.base_backoff_s * self.backoff_multiplier ** (attempt - 1)
+        return scale * (1.0 + self.jitter * float(u))
+
+
+def replay_open_loop(
+    target,
+    trace: list[TraceRequest],
+    clock: VirtualClock,
+    retry: RetryPolicy | None = None,
+    step_cost: StepCostModel | None = None,
+    seed: int = 0,
+    max_steps: int = 500_000,
+) -> dict:
+    """Replay a trace through impatient, retrying open-loop clients.
+
+    Unlike :func:`replay_trace` (fire-and-forget), every arrival here is
+    a client that *waits for its own tokens*: it submits at its trace
+    arrival time, abandons the attempt if the stream misses the
+    :class:`RetryPolicy` deadline, backs off (seeded exponential +
+    jitter, deterministic per request index) and resubmits — the
+    retry-storm mechanic, where shed or timed-out load comes back
+    compounded.  Arrivals never wait for earlier requests (open loop),
+    so offered load is set by the trace, not by the server.
+
+    Returns outcome totals: per-request ``completed`` / ``gave_up``
+    (all attempts failed), attempt-level ``timeouts`` / ``shed`` /
+    ``rejected`` counters, ``retries``, and the pump totals.  The
+    front-end's own backpressure report rides along under
+    ``"frontend"``.
+    """
+    from .frontend import (
+        AsyncServingEngine,
+        RequestShedError,
+        RequestTimeoutError,
+    )
+
+    if (
+        not isinstance(target, AsyncServingEngine)
+        and getattr(target, "step_cost", None) is not None
+    ):
+        raise ValueError(
+            "target already charges its own clock (step_cost set on the "
+            "engine); replay_open_loop's per-step charge would "
+            "double-count — drop one of the two"
+        )
+
+    if retry is None:
+        retry = RetryPolicy()
+    frontend = _as_frontend(target, step_cost, max_steps)
+    # Jitter is pre-drawn per (request, attempt): determinism must not
+    # depend on the interleaving order in which clients reach their
+    # backoff draws.
+    rng = np.random.default_rng(seed)
+    jitter_u = rng.uniform(size=(len(trace), max(retry.max_attempts - 1, 1)))
+    order = sorted(range(len(trace)), key=lambda i: trace[i].arrival_s)
+    counts = {
+        "completed": 0,
+        "gave_up": 0,
+        "attempts": 0,
+        "retries": 0,
+        "timeouts": 0,
+        "shed": 0,
+        "rejected": 0,
+    }
+
+    async def _client(idx: int) -> None:
+        item = trace[idx]
+        await frontend.sleep_until(item.arrival_s)
+        for attempt in range(1, retry.max_attempts + 1):
+            counts["attempts"] += 1
+            try:
+                handle = frontend.submit(
+                    item.prompt,
+                    item.max_new_tokens,
+                    slo=item.slo,
+                    tenant=item.tenant,
+                )
+                await handle.result(timeout_s=retry.timeout_s)
+                counts["completed"] += 1
+                return
+            except RequestTimeoutError:
+                counts["timeouts"] += 1
+            except RequestShedError:
+                counts["shed"] += 1
+            except BudgetExceededError:
+                counts["rejected"] += 1
+            if attempt == retry.max_attempts:
+                counts["gave_up"] += 1
+                return
+            counts["retries"] += 1
+            await frontend.sleep(
+                retry.backoff_s(attempt, jitter_u[idx, attempt - 1])
+            )
+
+    frontend.drive(*(_client(i) for i in order))
+    return {
+        "trace_requests": len(trace),
+        **counts,
+        "steps": frontend.steps,
+        "tokens_processed": frontend.tokens_processed,
+        "simulated_s": clock.now_s,
+        "frontend": frontend.report(),
     }

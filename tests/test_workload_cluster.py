@@ -309,7 +309,14 @@ def test_step_cost_model_is_a_two_lane_roofline():
     assert cost(bw_bound) == pytest.approx(1e-3 + 0.05)
     # A cluster's replicas run concurrently: the list costs the max.
     assert cost([compute_bound, bw_bound]) == pytest.approx(1e-3 + 0.1)
-    assert cost([]) == pytest.approx(1e-3)
+    # Zero work costs zero time — charging is idempotent over empty
+    # steps (a polling driver cannot smear phantom seconds in).
+    assert cost([]) == 0.0
+    idle = {"prefill_tokens": 0, "decode_tokens": 0, "kv_read_bytes": 0.0}
+    assert cost(idle) == 0.0
+    assert cost([idle, idle]) == 0.0
+    assert cost.prefill_s(0) == 0.0
+    assert cost.decode_s(0, 0.0) == 0.0
 
 
 def test_replay_measures_ttft_from_trace_arrival_and_counts_rejects(parts):
