@@ -24,6 +24,7 @@ import pytest
 
 from _report import write_report
 from repro.core import KVCacheStream
+from repro.obs import TraceRecorder, write_chrome_trace
 from repro.serve import (
     SLO,
     AsyncServingEngine,
@@ -66,7 +67,7 @@ def _slo_trace(spec):
     return trace
 
 
-def _engine(model, calib, clock, policy, record=False):
+def _engine(model, calib, clock, policy, record=False, recorder=None):
     return ServingEngine(
         model,
         calib,
@@ -80,21 +81,32 @@ def _engine(model, calib, clock, policy, record=False):
         prefix_reuse=False,
         record_reference=record,
         clock=clock,
+        recorder=recorder,
     )
 
 
 @pytest.fixture(scope="module")
-def slo_runs(proxy_small, calib_small):
+def slo_runs(proxy_small, calib_small, trace_out):
     model = proxy_small.model
     trace = _slo_trace(proxy_small.spec)
     runs = {"trace": trace}
 
     for policy in ("fcfs", "deadline"):
         clock = VirtualClock()
+        # --trace-out records the deadline run (the headline policy);
+        # tracing is read-only over the clock, so the A/B is unchanged.
+        recorder = (
+            TraceRecorder(clock)
+            if policy == "deadline" and trace_out is not None
+            else None
+        )
         engine = _engine(
-            model, calib_small, clock, policy, record=policy == "deadline"
+            model, calib_small, clock, policy,
+            record=policy == "deadline", recorder=recorder,
         )
         totals = replay_trace(engine, trace, clock, step_cost=STEP_COST)
+        if recorder is not None:
+            write_chrome_trace(recorder, trace_out("slo_serving"))
         runs[policy] = {
             "engine": engine,
             "totals": totals,

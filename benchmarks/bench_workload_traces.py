@@ -21,6 +21,7 @@ import pytest
 
 from _report import write_report
 from repro.core import KVCacheStream
+from repro.obs import TraceRecorder, write_chrome_trace
 from repro.serve import (
     ClusterRouter,
     ServingEngine,
@@ -57,7 +58,7 @@ def _trace_config(spec) -> WorkloadConfig:
     )
 
 
-def _engine(model, calib, clock, chunked: bool) -> ServingEngine:
+def _engine(model, calib, clock, chunked: bool, recorder=None) -> ServingEngine:
     return ServingEngine(
         model,
         calib,
@@ -75,11 +76,12 @@ def _engine(model, calib, clock, chunked: bool) -> ServingEngine:
         prefix_reuse=False,
         record_reference=chunked,
         clock=clock,
+        recorder=recorder,
     )
 
 
 @pytest.fixture(scope="module")
-def workload_runs(proxy_small, calib_small):
+def workload_runs(proxy_small, calib_small, trace_out):
     """The same bursty trace through unchunked, chunked and cluster."""
     model = proxy_small.model
     trace = generate_trace(_trace_config(proxy_small.spec), seed=TRACE_SEED)
@@ -88,8 +90,21 @@ def workload_runs(proxy_small, calib_small):
 
     for mode in ("unchunked", "chunked"):
         clock = VirtualClock()
-        engine = _engine(model, calib_small, clock, chunked=mode == "chunked")
+        # --trace-out records the chunked run (the headline mode);
+        # tracing reads the clock without advancing it, so the A/B
+        # comparison is unchanged.
+        recorder = (
+            TraceRecorder(clock)
+            if mode == "chunked" and trace_out is not None
+            else None
+        )
+        engine = _engine(
+            model, calib_small, clock,
+            chunked=mode == "chunked", recorder=recorder,
+        )
         replay = replay_trace(engine, trace, clock, cost)
+        if recorder is not None:
+            write_chrome_trace(recorder, trace_out("workload_traces"))
         runs[mode] = {
             "engine": engine,
             "replay": replay,

@@ -20,6 +20,13 @@ counts and reuse fractions are bit-stable across runs, so their
 thresholds are tight.  Wall-clock throughputs (tokens/s on a shared CI
 runner) carry per-metric overrides with generous margins — they gate
 order-of-magnitude collapses, not scheduler jitter.
+
+Unknown keys never gate.  Only the curated ``GATES`` entries are
+compared; anything else in a report — new observability counters, a
+registry snapshot, trie stats — is surfaced as an informational
+``[new ]`` line and otherwise ignored, so instrumenting a bench can
+never fail the baseline gate until its keys are explicitly curated
+here.
 """
 
 from __future__ import annotations
@@ -108,6 +115,23 @@ def _regression(current: float, baseline: float, direction: str) -> float:
     return -delta if direction == "higher" else delta
 
 
+def _new_keys(current: dict, baseline: dict, prefix: str = "") -> list[str]:
+    """Dotted keys present in ``current`` but absent from ``baseline``.
+
+    Purely informational — new keys (added observability, extra report
+    sections) are listed so a reviewer sees them, but they are never
+    compared and can never gate.
+    """
+    out: list[str] = []
+    for key, value in current.items():
+        dotted = f"{prefix}{key}"
+        if key not in baseline:
+            out.append(dotted)
+        elif isinstance(value, dict) and isinstance(baseline[key], dict):
+            out.extend(_new_keys(value, baseline[key], f"{dotted}."))
+    return out
+
+
 def compare(
     results: Path, baseline: Path, warn: float, fail: float
 ) -> int:
@@ -123,6 +147,11 @@ def compare(
             continue
         current_doc = json.loads(cur_path.read_text())
         baseline_doc = json.loads(base_path.read_text())
+        fresh = _new_keys(current_doc, baseline_doc)
+        if fresh:
+            shown = ", ".join(fresh[:8])
+            more = f" (+{len(fresh) - 8} more)" if len(fresh) > 8 else ""
+            print(f"[new ] {filename}: {shown}{more} — ignored, not gated")
         for key, direction, warn_at, fail_at in metrics:
             cur = _lookup(current_doc, key)
             base = _lookup(baseline_doc, key)

@@ -2,12 +2,53 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 # Imports resolve through the pytest ``pythonpath`` config in pyproject.toml
 # (src/ for the library, benchmarks/ for _report) — no sys.path mutation here.
 from repro.llm import CalibrationData, TrainedModel, calibrate, get_trained_model
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a Chrome trace-event JSON of the traced bench runs "
+            "(the SLO-serving deadline run, the workload-traces chunked "
+            "run) to PATH; load it at https://ui.perfetto.dev.  pytest "
+            "reserves --trace for pdb tracing, hence the name."
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def trace_out(request):
+    """Chrome-trace destination from ``--trace-out``, or ``None``.
+
+    Returns a callable mapping a bench name to its output path.  The
+    first traced bench in the invocation writes PATH verbatim; any
+    other traced bench appends ``-<bench>`` to the stem so one flag
+    serves a multi-bench run without clobbering.
+    """
+    value = request.config.getoption("--trace-out")
+    if not value:
+        return None
+    base = Path(value)
+    claimed: list[str] = []
+
+    def path_for(bench: str) -> Path:
+        if not claimed or claimed[0] == bench:
+            if not claimed:
+                claimed.append(bench)
+            return base
+        return base.with_name(f"{base.stem}-{bench}{base.suffix}")
+
+    return path_for
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,140 @@
+"""Trace exporters: JSONL event logs and Chrome trace-event JSON.
+
+Two formats over the same :class:`~repro.obs.trace.TraceRecorder`
+buffer:
+
+* **JSONL** — one :meth:`TraceEvent.to_obj` row per line, keys sorted,
+  compact separators.  This is the deterministic archival format: two
+  seeded replays produce byte-identical files (tested).
+* **Chrome trace-event JSON** — the ``{"traceEvents": [...]}`` object
+  format Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``
+  load directly.  Spans become ``ph:"X"`` complete events, instants
+  ``ph:"i"``, counter samples ``ph:"C"``; every distinct track gets its
+  own ``tid`` (assigned in first-seen order, named via ``thread_name``
+  metadata), so each request renders as one timeline ribbon and each
+  engine phase as its own row.  Times convert from clock seconds to the
+  format's microseconds.
+
+Both exporters append :meth:`TraceRecorder.open_state_spans`, so a
+mid-run export shows in-flight requests' current states too.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = [
+    "chrome_trace",
+    "iter_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+
+def _events(recorder_or_events):
+    """Accept a recorder (buffer + open spans) or a plain iterable of
+    :class:`TraceEvent`."""
+    open_spans = getattr(recorder_or_events, "open_state_spans", None)
+    events = getattr(recorder_or_events, "events", recorder_or_events)
+    out = list(events)
+    if open_spans is not None:
+        out.extend(open_spans())
+    return out
+
+
+# ----------------------------------------------------------------------
+# JSONL.
+# ----------------------------------------------------------------------
+
+def iter_jsonl(recorder_or_events):
+    """Yield one compact, key-sorted JSON line per event (no newline)."""
+    for event in _events(recorder_or_events):
+        yield json.dumps(
+            event.to_obj(), sort_keys=True, separators=(",", ":")
+        )
+
+
+def write_jsonl(recorder_or_events, path) -> int:
+    """Write the JSONL event log; returns the number of rows written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w") as fh:
+        for line in iter_jsonl(recorder_or_events):
+            fh.write(line)
+            fh.write("\n")
+            count += 1
+    return count
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON.
+# ----------------------------------------------------------------------
+
+def chrome_trace(recorder_or_events) -> dict:
+    """The Chrome trace-event object for a recorder or event list.
+
+    One ``pid`` (0, named ``repro.serve``); one ``tid`` per distinct
+    track, assigned in first-seen order so the export is deterministic.
+    """
+    trace_events: list[dict] = [
+        {
+            "args": {"name": "repro.serve"},
+            "cat": "__metadata",
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "ts": 0,
+        }
+    ]
+    tids: dict[str, int] = {}
+
+    def tid_of(track: str) -> int:
+        tid = tids.get(track)
+        if tid is None:
+            tid = tids[track] = len(tids) + 1
+            trace_events.append(
+                {
+                    "args": {"name": str(track)},
+                    "cat": "__metadata",
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tid,
+                    "ts": 0,
+                }
+            )
+        return tid
+
+    for event in _events(recorder_or_events):
+        record = {
+            "cat": event.cat,
+            "name": event.name,
+            "pid": 0,
+            "tid": tid_of(event.track),
+            "ts": event.ts * 1e6,
+        }
+        if event.kind == "span":
+            record["ph"] = "X"
+            record["dur"] = event.dur * 1e6
+        elif event.kind == "counter":
+            record["ph"] = "C"
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"  # thread-scoped instant marker
+        if event.args:
+            record["args"] = {k: event.args[k] for k in sorted(event.args)}
+        trace_events.append(record)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(recorder_or_events, path) -> dict:
+    """Write the Chrome trace JSON (key-sorted, deterministic bytes);
+    returns the exported object."""
+    doc = chrome_trace(recorder_or_events)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, sort_keys=True, separators=(",", ":")))
+    return doc

@@ -1,0 +1,220 @@
+"""Text summarizer for recorded serving traces.
+
+Usage::
+
+    python -m repro.obs.report trace.jsonl
+    python -m repro.obs.report trace.json     # Chrome trace export
+
+Reads a JSONL event log or a Chrome trace-event JSON (both written by
+``repro.obs.export``) and prints the questions the terminal summary
+dict cannot answer: which eviction causes dominated, why requests were
+shed, where queue wait went, how step time split across engine phases,
+and how many bytes swap moved per tier.  :func:`summarize` returns the
+same breakdowns as a dict for programmatic use (tests, the ablation
+harness).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter, defaultdict
+from pathlib import Path
+
+__all__ = ["format_summary", "load_events", "main", "summarize"]
+
+
+def load_events(path) -> list[dict]:
+    """Event dicts (the JSONL row shape) from either export format.
+
+    Both formats open with ``{``, so sniffing by first character is not
+    enough: a file is the Chrome export iff the *whole* text is one
+    JSON object carrying ``traceEvents``; anything else is JSONL.
+    """
+    path = Path(path)
+    text = path.read_text()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        return _from_chrome(doc)
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+def _from_chrome(doc: dict) -> list[dict]:
+    """Invert the Chrome export back to the JSONL row shape."""
+    tracks = {0: "main"}
+    events = []
+    for record in doc.get("traceEvents", []):
+        ph = record.get("ph")
+        if ph == "M":
+            if record.get("name") == "thread_name":
+                tracks[record.get("tid", 0)] = record["args"]["name"]
+            continue
+        kind = {"X": "span", "C": "counter"}.get(ph, "instant")
+        events.append(
+            {
+                "kind": kind,
+                "name": record.get("name"),
+                "cat": record.get("cat"),
+                "track": tracks.get(record.get("tid", 0), "main"),
+                "ts": record.get("ts", 0.0) / 1e6,
+                "dur": record.get("dur", 0.0) / 1e6,
+                "args": record.get("args", {}),
+            }
+        )
+    return events
+
+
+def _percentile(values: list[float], p: float) -> float:
+    """Linear-interpolated percentile of a non-empty list."""
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * p / 100.0
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def summarize(events: list[dict]) -> dict:
+    """Aggregate one event log into the report's breakdowns."""
+    counts: Counter = Counter()
+    evictions: dict[str, dict] = defaultdict(lambda: {"pages": 0, "bytes": 0})
+    sheds: Counter = Counter()
+    queue_waits: list[float] = []
+    state_time: dict[str, float] = defaultdict(float)
+    phase_time: dict[str, dict] = defaultdict(lambda: {"spans": 0, "total_s": 0.0})
+    swap: dict[str, dict] = defaultdict(
+        lambda: {"out_bytes": 0, "in_bytes": 0, "events": 0}
+    )
+    requests: set = set()
+
+    for event in events:
+        kind, name, cat = event["kind"], event["name"], event["cat"]
+        args = event.get("args", {})
+        counts[f"{kind}:{cat}/{name}"] += 1
+        if cat == "request":
+            requests.add(event["track"])
+            if kind == "span":
+                state_time[name] += event["dur"]
+                if name == "waiting":
+                    queue_waits.append(event["dur"])
+            elif name == "shed":
+                sheds[args.get("reason", "policy")] += 1
+        elif cat == "phase" and kind == "span":
+            phase = phase_time[name]
+            phase["spans"] += 1
+            phase["total_s"] += event["dur"]
+        elif cat == "pool" and kind == "instant":
+            if name == "evict":
+                bucket = evictions[args.get("reason", "unknown")]
+                bucket["pages"] += 1
+                bucket["bytes"] += int(args.get("nbytes", 0))
+            elif name in ("swap_out", "swap_in"):
+                tier = swap[args.get("tier", "host")]
+                direction = "out_bytes" if name == "swap_out" else "in_bytes"
+                tier[direction] += int(args.get("nbytes", 0))
+                tier["events"] += 1
+        elif cat == "frontend" and kind == "instant" and name == "shed":
+            sheds[args.get("reason", "queue_full")] += 1
+
+    queue_wait = {"count": len(queue_waits)}
+    if queue_waits:
+        queue_wait.update(
+            total_s=sum(queue_waits),
+            p50_s=_percentile(queue_waits, 50),
+            p95_s=_percentile(queue_waits, 95),
+            max_s=max(queue_waits),
+        )
+    return {
+        "events": len(events),
+        "requests_seen": len(requests),
+        "event_counts": dict(sorted(counts.items())),
+        "eviction_causes": dict(
+            sorted(
+                evictions.items(),
+                key=lambda kv: kv[1]["bytes"],
+                reverse=True,
+            )
+        ),
+        "shed_reasons": dict(sheds.most_common()),
+        "queue_wait": queue_wait,
+        "state_time_s": dict(sorted(state_time.items())),
+        "phase_time": dict(sorted(phase_time.items())),
+        "swap_bytes_by_tier": dict(sorted(swap.items())),
+    }
+
+
+def format_summary(summary: dict) -> str:
+    lines = [
+        f"events: {summary['events']}  "
+        f"requests seen: {summary['requests_seen']}",
+    ]
+    if summary["phase_time"]:
+        lines.append("engine phase time:")
+        for name, phase in sorted(
+            summary["phase_time"].items(),
+            key=lambda kv: kv[1]["total_s"],
+            reverse=True,
+        ):
+            lines.append(
+                f"  {name:<10} {phase['total_s']:.4f}s over "
+                f"{phase['spans']} spans"
+            )
+    if summary["state_time_s"]:
+        lines.append("request state time:")
+        for state, total in sorted(
+            summary["state_time_s"].items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"  {state:<12} {total:.4f}s")
+    wait = summary["queue_wait"]
+    if wait["count"]:
+        lines.append(
+            f"queue wait: {wait['count']} spans, total {wait['total_s']:.4f}s, "
+            f"p50 {wait['p50_s']:.4f}s, p95 {wait['p95_s']:.4f}s, "
+            f"max {wait['max_s']:.4f}s"
+        )
+    if summary["eviction_causes"]:
+        lines.append("top eviction causes:")
+        for reason, bucket in summary["eviction_causes"].items():
+            lines.append(
+                f"  {reason:<10} {bucket['pages']} pages, "
+                f"{bucket['bytes']} B"
+            )
+    if summary["shed_reasons"]:
+        lines.append("shed reasons:")
+        for reason, count in summary["shed_reasons"].items():
+            lines.append(f"  {reason:<12} {count}")
+    if summary["swap_bytes_by_tier"]:
+        lines.append("swap bytes by tier:")
+        for tier, bucket in summary["swap_bytes_by_tier"].items():
+            lines.append(
+                f"  {tier:<6} out {bucket['out_bytes']} B, "
+                f"in {bucket['in_bytes']} B ({bucket['events']} events)"
+            )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Summarize a repro.obs trace (JSONL or Chrome JSON)."
+    )
+    parser.add_argument("trace", type=Path, help="trace file to summarize")
+    parser.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    args = parser.parse_args(argv)
+    summary = summarize(load_events(args.trace))
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(format_summary(summary))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

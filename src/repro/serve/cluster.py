@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import MirroredCounters
+
 from .engine import ServingEngine
 from .metrics import latency_percentiles, ttft_split
 from .pool import ROOT_CHAIN, chain_hash
@@ -78,15 +80,33 @@ class ClusterRouter:
         self._sessions: dict[str, int] = {}
         self._used_ids: set[str] = set()
         self._next_request = 0
-        self.stats = {
-            "routed": [0] * len(self.engines),
-            "affinity_hits": 0,
-            "affinity_overrides": 0,
-            "session_pins": 0,
-            "session_hits": 0,
-            "dedup_groups": 0,
-            "dedup_grouped": 0,
-        }
+        #: Observability: the cluster adopts replica 0's recorder and
+        #: registry as the cluster-wide ones (the async front-end reads
+        #: them off ``target``), and renames each replica's trace tracks
+        #: ``replica<i>/...`` so their phase rows stay apart in the
+        #: Chrome export.  Routing decisions land on the ``cluster``
+        #: track; scalar routing stats mirror into the registry as
+        #: ``cluster.<name>`` (the per-replica ``routed`` list is
+        #: covered by the labeled ``cluster.routed{replica=i}`` series).
+        self.obs = self.engines[0].obs
+        self.registry = self.engines[0].registry
+        if len(self.engines) > 1:
+            for i, engine in enumerate(self.engines):
+                if getattr(engine, "obs_track", "engine") == "engine":
+                    engine.set_obs_track(f"replica{i}")
+        self.stats = MirroredCounters(
+            {
+                "routed": [0] * len(self.engines),
+                "affinity_hits": 0,
+                "affinity_overrides": 0,
+                "session_pins": 0,
+                "session_hits": 0,
+                "dedup_groups": 0,
+                "dedup_grouped": 0,
+            },
+            self.registry,
+            "cluster.",
+        )
         #: Per-replica step compositions from the most recent ``step()``
         #: — replicas run concurrently, so a replay cost model charges
         #: the *slowest* replica, not the sum.
@@ -272,6 +292,16 @@ class ClusterRouter:
             self.stats["session_pins"] += 1
         request.replica = index
         self.stats["routed"][index] += 1
+        self.registry.inc("cluster.routed", replica=index)
+        self.registry.inc("cluster.routing_outcomes", outcome=outcome)
+        self.obs.instant(
+            "route",
+            "cluster",
+            cat="cluster",
+            replica=index,
+            outcome=outcome,
+            request_id=request.request_id,
+        )
         return request
 
     def submit_batch(

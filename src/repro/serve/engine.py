@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.llm.decode import decode_step, prefill_chunk
 from repro.llm.model import ProxyModel
+from repro.obs import MetricsRegistry, NullRecorder
 
 from .metrics import EngineMetrics, decode_step_sectors
 from .pool import BudgetExceededError, PagedKVPool
@@ -90,6 +91,8 @@ class ServingEngine:
         act_quant=None,
         record_reference: bool = False,
         clock=time.perf_counter,
+        recorder=None,
+        registry: MetricsRegistry | None = None,
     ):
         self.model = model
         spec = model.spec
@@ -101,6 +104,15 @@ class ServingEngine:
             self.backend = Fp16KVBackend(spec.num_layers, spec.d_model)
         else:
             raise KeyError(f"unknown storage {storage!r}; known: ecco, fp16")
+        #: Observability (``repro.obs``): ``recorder`` captures request
+        #: lifecycle spans, engine step-phase spans and pool instants —
+        #: the allocation-free :class:`NullRecorder` by default;
+        #: ``registry`` is the metrics registry every counter mirrors
+        #: into (a fresh one per engine unless the caller shares one).
+        #: Neither touches the clock or any RNG, so a traced run is
+        #: bit-identical to an untraced one.
+        self.obs = recorder if recorder is not None else NullRecorder()
+        registry = registry if registry is not None else MetricsRegistry()
         #: ``prefix_trie`` selects the pool's token-level radix-trie
         #: lookup (partial matches split pages at the divergence point);
         #: disable for the legacy whole-page chain-walk fallback.
@@ -113,13 +125,18 @@ class ServingEngine:
             ttl_s=cache_ttl_s,
             split_min_tokens=split_min_tokens,
             clock=clock,
+            recorder=self.obs,
+            registry=registry,
         )
         #: ``policy`` selects the scheduling decisions (admission order,
         #: preemption victim, load shedding): ``"fcfs"`` is the classic
         #: arrival-order behaviour, ``"deadline"`` is SLO-aware EDF (see
         #: ``repro.serve.scheduler``), or pass a SchedulerPolicy.
         self.scheduler = ContinuousBatchingScheduler(
-            max_batch_size=max_batch_size, watermark=watermark, policy=policy
+            max_batch_size=max_batch_size,
+            watermark=watermark,
+            policy=policy,
+            recorder=self.obs,
         )
         if prefill_chunk_tokens is not None:
             if prefill_chunk_tokens < 1:
@@ -165,7 +182,9 @@ class ServingEngine:
                 "step_cost needs an advanceable clock (VirtualClock); "
                 "a wall clock cannot be charged simulated time"
             )
-        self.metrics = EngineMetrics()
+        self.metrics = EngineMetrics(registry)
+        self.set_obs_track("engine")
+        self._last_pool_sample = None
         self.weights = weights
         self.act_quant = act_quant
         self.record_reference = record_reference
@@ -181,6 +200,55 @@ class ServingEngine:
             "decode_tokens": 0,
             "kv_read_bytes": 0.0,
         }
+
+    # ------------------------------------------------------------------
+    # Observability.
+    # ------------------------------------------------------------------
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The metrics registry every engine/pool counter mirrors into."""
+        return self.metrics.registry
+
+    def set_obs_track(self, track: str) -> None:
+        """Rename this engine's trace tracks — the cluster router calls
+        this to give each replica its own rows (``replica0/decode``,
+        ``replica0/pool``, ...) in the Chrome export."""
+        self.obs_track = track
+        #: Precomputed per-phase track names, so the hot step loop does
+        #: no string formatting when tracing is disabled.
+        self._phase_tracks = {
+            name: f"{track}/{name}"
+            for name in ("evict", "admit", "prefill", "preempt", "decode")
+        }
+        self.pool.track = f"{track}/pool"
+
+    def _sample_pool_gauges(self) -> None:
+        """Per-step pool occupancy: registry gauges always, Chrome
+        counter samples only when tracing and only on change (a steady
+        pool adds no events)."""
+        pool = self.pool
+        registry = self.metrics.registry
+        registry.gauge_set("pool.bytes_resident", pool.bytes_resident)
+        registry.gauge_set("pool.bytes_active", pool.bytes_active)
+        registry.gauge_set("pool.bytes_evictable", pool.bytes_evictable)
+        registry.gauge_set("pool.bytes_swapped", pool.bytes_swapped)
+        if self.obs.enabled:
+            sample = (
+                pool.bytes_active,
+                pool.bytes_evictable,
+                pool.bytes_swapped,
+            )
+            if sample != self._last_pool_sample:
+                self._last_pool_sample = sample
+                self.obs.counter(
+                    "pool.bytes_active", pool.bytes_active, pool.track
+                )
+                self.obs.counter(
+                    "pool.bytes_evictable", pool.bytes_evictable, pool.track
+                )
+                self.obs.counter(
+                    "pool.bytes_swapped", pool.bytes_swapped, pool.track
+                )
 
     # ------------------------------------------------------------------
     # Submission.
@@ -402,6 +470,12 @@ class ServingEngine:
         request.metrics.first_token_s = now
         request.metrics.token_s.append(now)
         self.metrics.prefills += 1
+        self.metrics.registry.observe(
+            "request.ttft_s", now - request.metrics.arrival_s
+        )
+        self.obs.instant(
+            "first_token", request.request_id, cat="request", token=first
+        )
         if request.finished:
             self._finish(request, now)
 
@@ -472,6 +546,12 @@ class ServingEngine:
                 victim.kv.swap_out()
                 scheduler.preempt(victim)
                 self.metrics.preemptions += 1
+                self.obs.instant(
+                    "preempt",
+                    victim.request_id,
+                    cat="request",
+                    cause="prefill_stall",
+                )
             if stalled:
                 self.metrics.prefill_stalls += 1
                 break
@@ -489,6 +569,13 @@ class ServingEngine:
             request.kv.commit_chunk()
             request.prefill_pos = end
             request.metrics.prefill_chunks += 1
+            self.obs.instant(
+                "prefill_chunk",
+                request.request_id,
+                cat="request",
+                start=start,
+                end=end,
+            )
             self.metrics.prefill_chunks += 1
             self.metrics.chunked_prefill_tokens += chunk
             self.metrics.prefill_forwarded_tokens += chunk
@@ -524,6 +611,12 @@ class ServingEngine:
             victim.kv.swap_out()
             scheduler.preempt(victim)
             self.metrics.preemptions += 1
+            self.obs.instant(
+                "preempt",
+                victim.request_id,
+                cat="request",
+                cause="decode_growth",
+            )
 
     def _finish(self, request: Request, now: float) -> None:
         # Releasing a request can only unpin bytes (tail promotion moves
@@ -540,19 +633,38 @@ class ServingEngine:
             )
         self.scheduler.finish(request)
         request.metrics.finish_s = now
+        self.metrics.registry.observe(
+            "request.e2e_s", now - request.metrics.arrival_s
+        )
 
     # ------------------------------------------------------------------
     # The step loop.
     # ------------------------------------------------------------------
     def step(self) -> int:
         """One scheduler iteration; returns tokens processed this step
-        (prompt tokens ingested plus decode tokens generated)."""
+        (prompt tokens ingested plus decode tokens generated).
+
+        Each phase runs under its own trace span (``cat="phase"``), so a
+        recorded step renders as five rows — evict / admit / prefill /
+        preempt / decode — in the Chrome export.  The capacity pass that
+        used to open ``_decode`` runs as the explicit ``preempt`` phase,
+        so preemption cost is visible separately from decode compute;
+        the work order is unchanged.
+        """
+        obs, tracks = self.obs, self._phase_tracks
         # Age stale prefix-cache pages out before admission sizes its
         # headroom, so TTL-expired bytes never crowd out a new request.
-        self.pool.expire_ttl()
-        prefill_tokens = self._admit()
-        prefill_tokens += self._chunk_work(prefill_tokens)
-        decode_tokens, kv_read = self._decode()
+        with obs.span("evict", tracks["evict"], cat="phase"):
+            self.pool.expire_ttl()
+        with obs.span("admit", tracks["admit"], cat="phase"):
+            prefill_tokens = self._admit()
+        with obs.span("prefill", tracks["prefill"], cat="phase"):
+            prefill_tokens += self._chunk_work(prefill_tokens)
+        with obs.span("preempt", tracks["preempt"], cat="phase"):
+            if self.scheduler.running:
+                self._ensure_decode_capacity()
+        with obs.span("decode", tracks["decode"], cat="phase"):
+            decode_tokens, kv_read = self._decode()
         self.last_step = {
             "prefill_tokens": prefill_tokens,
             "decode_tokens": decode_tokens,
@@ -560,12 +672,12 @@ class ServingEngine:
         }
         # The budget is a hard invariant; any drift fails here, loudly.
         self.pool.check_budget()
+        self._sample_pool_gauges()
         return prefill_tokens + decode_tokens
 
     def _decode(self) -> tuple[int, float]:
         if not self.scheduler.running:
             return 0, 0.0
-        self._ensure_decode_capacity()
         batch = list(self.scheduler.running)
         # Count concurrency after the capacity pass: these requests
         # actually decode together this step.

@@ -57,6 +57,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import MetricsRegistry, MirroredCounters, NullRecorder
+
 from .pool import BudgetExceededError
 from .request import Request, RequestState
 from .workload import StepCostModel
@@ -327,17 +329,33 @@ class AsyncServingEngine:
         self._drain = True
         self.steps = 0
         self.tokens_processed = 0
-        self.metrics = {
-            "arrivals": 0,
-            "accepted": 0,
-            "rejected_429": 0,
-            "shed_queue_full": 0,
-            "shed_slo": 0,
-            "timeouts": 0,
-            "queue_depth_peak": 0,
-            "queue_depth_sum": 0,
-            "queue_depth_samples": 0,
-        }
+        #: Observability: the front-end shares the engine's (or
+        #: cluster's) recorder and registry, so one trace/export covers
+        #: the whole stack.  ``metrics`` keeps its dict interface but
+        #: every write mirrors into the registry as ``frontend.<key>``
+        #: — :meth:`report` reads the registry back, so the two can
+        #: never disagree.
+        self.obs = getattr(target, "obs", None) or NullRecorder()
+        registry = getattr(target, "registry", None)
+        self.registry = (
+            registry if registry is not None else MetricsRegistry()
+        )
+        self.metrics = MirroredCounters(
+            {
+                "arrivals": 0,
+                "accepted": 0,
+                "rejected_429": 0,
+                "shed_queue_full": 0,
+                "shed_slo": 0,
+                "timeouts": 0,
+                "queue_depth_peak": 0,
+                "queue_depth_sum": 0,
+                "queue_depth_samples": 0,
+            },
+            self.registry,
+            "frontend.",
+        )
+        self._last_depth = None
 
     # ------------------------------------------------------------------
     # Tenants.
@@ -429,6 +447,10 @@ class AsyncServingEngine:
         now = self.clock()
         state = self._tenant(tenant)
         self.metrics["arrivals"] += 1
+        self.registry.inc("frontend.arrivals", tenant=state.name)
+        self.obs.instant(
+            "arrival", "frontend", cat="frontend", tenant=state.name
+        )
         state.submitted += 1
         if (
             self.max_queue_depth is not None
@@ -436,6 +458,16 @@ class AsyncServingEngine:
         ):
             state.shed += 1
             self.metrics["shed_queue_full"] += 1
+            self.registry.inc(
+                "frontend.shed", tenant=state.name, reason="queue_full"
+            )
+            self.obs.instant(
+                "shed",
+                "frontend",
+                cat="frontend",
+                reason="queue_full",
+                tenant=state.name,
+            )
             raise RequestShedError(
                 f"front-end queue full ({self.queue_depth} >= "
                 f"{self.max_queue_depth}); request shed"
@@ -489,6 +521,10 @@ class AsyncServingEngine:
         except BudgetExceededError as error:
             state.rejected += 1
             self.metrics["rejected_429"] += 1
+            self.registry.inc("frontend.rejected", tenant=state.name)
+            self.obs.instant(
+                "reject", "frontend", cat="frontend", tenant=state.name
+            )
             handle._fail(error, "rejected")
             return
         request.metrics.arrival_s = sub.arrival_s
@@ -496,9 +532,21 @@ class AsyncServingEngine:
         state.pass_tokens += sub.cost_tokens / state.weight
         state.accepted += 1
         self.metrics["accepted"] += 1
+        self.registry.inc("frontend.accepted", tenant=state.name)
         wait = now - sub.enqueued_s
         state.wait_s_sum += wait
         state.wait_s_max = max(state.wait_s_max, wait)
+        self.registry.observe("frontend.queue_wait_s", wait)
+        self.registry.observe(
+            "frontend.queue_wait_s", wait, tenant=state.name
+        )
+        self.obs.instant(
+            "dispatch",
+            "frontend",
+            cat="frontend",
+            tenant=state.name,
+            request_id=request.request_id,
+        )
         handle._attach(request)
         self._live.append(handle)
 
@@ -561,6 +609,10 @@ class AsyncServingEngine:
             _, _, handle = heapq.heappop(self._timeouts)
             if not handle.done:
                 self.metrics["timeouts"] += 1
+                self.registry.inc("frontend.timeouts", tenant=handle.tenant)
+                self.obs.instant(
+                    "timeout", "frontend", cat="frontend", tenant=handle.tenant
+                )
                 handle._fail(
                     RequestTimeoutError(
                         "client deadline expired before the request finished"
@@ -588,6 +640,9 @@ class AsyncServingEngine:
             if handle._publish():
                 if handle.status == "shed":
                     self.metrics["shed_slo"] += 1
+                    self.registry.inc(
+                        "frontend.shed", tenant=handle.tenant, reason="slo"
+                    )
                     self._tenants[handle.tenant].shed += 1
             else:
                 still_live.append(handle)
@@ -600,6 +655,10 @@ class AsyncServingEngine:
         )
         self.metrics["queue_depth_sum"] += depth
         self.metrics["queue_depth_samples"] += 1
+        self.registry.gauge_set("frontend.queue_depth", depth)
+        if self.obs.enabled and depth != self._last_depth:
+            self._last_depth = depth
+            self.obs.counter("frontend.queue_depth", depth, "frontend")
 
     async def _pump(self) -> None:
         """The event loop's engine driver: fire due timers, let clients
@@ -710,25 +769,34 @@ class AsyncServingEngine:
     # ------------------------------------------------------------------
     def report(self) -> dict:
         """Front-end metrics: admission counts, shed/reject/timeout
-        totals, queue depth, and per-tenant rate/fairness accounting."""
-        samples = self.metrics["queue_depth_samples"]
-        arrivals = self.metrics["arrivals"]
+        totals, queue depth, and per-tenant rate/fairness accounting.
+
+        Built by reading the ``frontend.*`` registry series back (every
+        write mirrors there), so the report and any mid-run registry
+        snapshot agree exactly; the keys are unchanged from the
+        pre-registry report.
+        """
+        value = self.registry.value
+        samples = value("frontend.queue_depth_samples")
+        arrivals = value("frontend.arrivals")
         shed = (
-            self.metrics["shed_queue_full"] + self.metrics["shed_slo"]
+            value("frontend.shed_queue_full") + value("frontend.shed_slo")
         )
         return {
             "arrivals": arrivals,
-            "accepted": self.metrics["accepted"],
-            "rejected_429": self.metrics["rejected_429"],
-            "shed_queue_full": self.metrics["shed_queue_full"],
-            "shed_slo": self.metrics["shed_slo"],
+            "accepted": value("frontend.accepted"),
+            "rejected_429": value("frontend.rejected_429"),
+            "shed_queue_full": value("frontend.shed_queue_full"),
+            "shed_slo": value("frontend.shed_slo"),
             "shed_rate": shed / arrivals if arrivals else 0.0,
-            "timeouts": self.metrics["timeouts"],
+            "timeouts": value("frontend.timeouts"),
             "steps": self.steps,
             "tokens_processed": self.tokens_processed,
-            "queue_depth_peak": self.metrics["queue_depth_peak"],
+            "queue_depth_peak": value("frontend.queue_depth_peak"),
             "queue_depth_mean": (
-                self.metrics["queue_depth_sum"] / samples if samples else 0.0
+                value("frontend.queue_depth_sum") / samples
+                if samples
+                else 0.0
             ),
             "tenants": {
                 name: {

@@ -12,11 +12,10 @@ pool's capacity win into a modeled traffic win.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
 from repro.memsys import A100, GPUParams, gemm_traffic
+from repro.obs import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
 
 from .slo import slo_attainment
 
@@ -137,52 +136,101 @@ def decode_step_sectors(
     return float(sectors)
 
 
-@dataclass
-class EngineMetrics:
-    """Aggregate counters one engine run accumulates."""
+#: The engine counter families ``EngineMetrics`` exposes as attributes,
+#: with the zero each starts from (ints stay ints in the registry, so
+#: report values keep their types).  Every one is backed by an
+#: ``engine.<name>`` registry counter.
+_ENGINE_COUNTERS: dict[str, int | float] = {
+    "prefills": 0,
+    "decode_steps": 0,
+    "preemptions": 0,
+    # Tokens emitted by decode steps (prefill first-tokens not included).
+    "decode_tokens": 0,
+    # Chunked-prefill work: chunks processed and prompt tokens ingested
+    # through them (whole-prompt prefills are not counted here).
+    "prefill_chunks": 0,
+    "chunked_prefill_tokens": 0,
+    # Steps where a chunk was ready but stalled on pool headroom.
+    "prefill_stalls": 0,
+    # Cross-turn/cross-request prefix reuse: admissions that attached a
+    # cached prefix, and the tokens/pages served straight from the
+    # cache instead of being re-encoded.
+    "warm_prefills": 0,
+    "prefix_tokens_reused": 0,
+    "prefix_pages_reused": 0,
+    # Warm admissions whose match ended *inside* a cached page and
+    # attached a split-off head, and the tokens those splits salvaged
+    # (a subset of ``prefix_tokens_reused``) — the chain-walk lookup
+    # would have re-encoded every one of them.
+    "prefix_partial_attaches": 0,
+    "split_tokens_salvaged": 0,
+    # Prompt tokens that actually ran through a prefill forward pass
+    # (whole-prompt, warm-suffix and chunked alike) — with
+    # ``prefix_tokens_reused`` this decomposes every admitted prompt
+    # into reused vs re-encoded tokens.
+    "prefill_forwarded_tokens": 0,
+    # Steps where the swapped queue's head could not re-admit and was
+    # blocking fresh admissions (the head-of-line condition), and fresh
+    # requests admitted past it under the bounded bypass.
+    "hol_blocked_steps": 0,
+    "hol_bypasses": 0,
+    # Requests refused at admission by the scheduling policy (SLO
+    # already blown) — the load-shedding 429 path.  Budget rejections
+    # at submit are *not* counted here; they never reach the queue.
+    "shed_requests": 0,
+    "peak_concurrency": 0,
+    "modeled_sectors": 0.0,
+    "modeled_kv_read_bytes": 0.0,
+    "modeled_kv_read_fp16_bytes": 0.0,
+}
 
-    prefills: int = 0
-    decode_steps: int = 0
-    preemptions: int = 0
-    #: Tokens emitted by decode steps (prefill first-tokens not included).
-    decode_tokens: int = 0
-    #: Chunked-prefill work: chunks processed and prompt tokens ingested
-    #: through them (whole-prompt prefills are not counted here).
-    prefill_chunks: int = 0
-    chunked_prefill_tokens: int = 0
-    #: Steps where a chunk was ready but stalled on pool headroom.
-    prefill_stalls: int = 0
-    #: Cross-turn/cross-request prefix reuse: admissions that attached a
-    #: cached prefix, and the tokens/pages served straight from the
-    #: cache instead of being re-encoded.
-    warm_prefills: int = 0
-    prefix_tokens_reused: int = 0
-    prefix_pages_reused: int = 0
-    #: Warm admissions whose match ended *inside* a cached page and
-    #: attached a split-off head, and the tokens those splits salvaged
-    #: (a subset of ``prefix_tokens_reused``) — the chain-walk lookup
-    #: would have re-encoded every one of them.
-    prefix_partial_attaches: int = 0
-    split_tokens_salvaged: int = 0
-    #: Prompt tokens that actually ran through a prefill forward pass
-    #: (whole-prompt, warm-suffix and chunked alike) — with
-    #: ``prefix_tokens_reused`` this decomposes every admitted prompt
-    #: into reused vs re-encoded tokens.
-    prefill_forwarded_tokens: int = 0
-    #: Steps where the swapped queue's head could not re-admit and was
-    #: blocking fresh admissions (the head-of-line condition), and fresh
-    #: requests admitted past it under the bounded bypass.
-    hol_blocked_steps: int = 0
-    hol_bypasses: int = 0
-    #: Requests refused at admission by the scheduling policy (SLO
-    #: already blown) — the load-shedding 429 path.  Budget rejections
-    #: at submit are *not* counted here; they never reach the queue.
-    shed_requests: int = 0
-    peak_concurrency: int = 0
-    batch_occupancy: list[int] = field(default_factory=list)
-    modeled_sectors: float = 0.0
-    modeled_kv_read_bytes: float = 0.0
-    modeled_kv_read_fp16_bytes: float = 0.0
+#: Decode batch-size histogram edges (requests per step).
+BATCH_OCCUPANCY_BUCKETS = (1, 2, 4, 8, 16, 32, 64)
+
+
+class EngineMetrics:
+    """Aggregate counters one engine run accumulates.
+
+    Rebuilt on top of :class:`repro.obs.MetricsRegistry`: every counter
+    attribute reads and writes an ``engine.<name>`` registry series, so
+    a mid-run registry snapshot and the end-of-run :meth:`summary` are
+    views of the same storage and can never disagree.  The attribute
+    API (``metrics.prefills += 1``) is unchanged — call sites did not
+    move.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        object.__setattr__(
+            self,
+            "registry",
+            registry if registry is not None else MetricsRegistry(),
+        )
+        object.__setattr__(self, "batch_occupancy", [])
+        for name, zero in _ENGINE_COUNTERS.items():
+            key = f"engine.{name}"
+            if self.registry.value(key, None) is None:
+                self.registry.counter_set(key, zero)
+        self.registry.define_histogram(
+            "engine.batch_occupancy", BATCH_OCCUPANCY_BUCKETS
+        )
+        self.registry.define_histogram(
+            "request.ttft_s", DEFAULT_LATENCY_BUCKETS
+        )
+        self.registry.define_histogram(
+            "request.e2e_s", DEFAULT_LATENCY_BUCKETS
+        )
+
+    def __getattr__(self, name: str):
+        # Only missing attributes land here: the counter families.
+        if name in _ENGINE_COUNTERS:
+            return self.registry.value(f"engine.{name}")
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in _ENGINE_COUNTERS:
+            self.registry.counter_set(f"engine.{name}", value)
+        else:
+            object.__setattr__(self, name, value)
 
     def record_concurrency(self, running: int) -> None:
         self.peak_concurrency = max(self.peak_concurrency, running)
@@ -196,13 +244,22 @@ class EngineMetrics:
     ) -> None:
         self.decode_steps += 1
         self.batch_occupancy.append(batch)
+        self.registry.observe("engine.batch_occupancy", batch)
         self.decode_tokens += batch
         self.modeled_kv_read_bytes += kv_read_bytes
         self.modeled_kv_read_fp16_bytes += kv_read_fp16_bytes
         self.modeled_sectors += sectors
 
     def summary(self, requests: list, pool, elapsed_s: float) -> dict:
-        """The serving report: latencies, throughput, capacity, traffic."""
+        """The serving report: latencies, throughput, capacity, traffic.
+
+        Robust to degenerate runs: ``elapsed_s == 0`` reports a zero
+        token rate instead of a divide-by-epsilon absurdity, and
+        requests with no recorded first token (still queued, shed,
+        preempted mid-prefill) are excluded from every latency family
+        (``ttft_split`` and ``slo_attainment`` skip them) rather than
+        poisoning the means.
+        """
         finished = [r for r in requests if r.metrics.finish_s is not None]
         ttfts, warm_ttfts, cold_ttfts = ttft_split(requests)
         e2e = [r.metrics.e2e_s for r in finished]
@@ -215,7 +272,7 @@ class EngineMetrics:
             "finished": len(finished),
             "elapsed_s": elapsed_s,
             "tokens_generated": generated,
-            "tokens_per_s": generated / max(elapsed_s, 1e-9),
+            "tokens_per_s": generated / elapsed_s if elapsed_s > 0 else 0.0,
             "ttft_s_mean": float(np.mean(ttfts)) if ttfts else None,
             "ttft_s_max": float(np.max(ttfts)) if ttfts else None,
             "ttft_s_mean_warm": (

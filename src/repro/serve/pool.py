@@ -60,6 +60,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import MetricsRegistry, MirroredCounters, NullRecorder
+
 from .trie import PrefixMatch, PrefixTrie
 
 __all__ = ["BudgetExceededError", "KVPage", "PagedKVPool", "chain_hash"]
@@ -150,6 +152,9 @@ class PagedKVPool:
         ttl_s: float | None = None,
         split_min_tokens: int = 4,
         clock=time.monotonic,
+        recorder=None,
+        registry: MetricsRegistry | None = None,
+        track: str = "pool",
     ):
         if byte_budget <= 0:
             raise ValueError("byte_budget must be positive")
@@ -205,7 +210,14 @@ class PagedKVPool:
         #: Matched-prefix-length histogram (power-of-two buckets) over
         #: every ``lookup_prefix`` call that matched at least one token.
         self.matched_prefix_hist: dict[str, int] = {}
-        self.stats = {
+        #: Observability (``repro.obs``): eviction/swap/split instants
+        #: land on ``track`` in the trace; every ``stats`` counter
+        #: mirrors into ``registry`` as ``pool.<name>`` via
+        #: :class:`MirroredCounters`, so no increment site changes.
+        self.obs = recorder if recorder is not None else NullRecorder()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.track = track
+        initial_stats = {
             "pages_allocated": 0,
             "pages_shared": 0,
             "pages_freed": 0,
@@ -242,6 +254,7 @@ class PagedKVPool:
             "budget_overruns": 0,
             "max_overrun_bytes": 0,
         }
+        self.stats = MirroredCounters(initial_stats, self.registry, "pool.")
 
     # ------------------------------------------------------------------
     # Budget.
@@ -352,6 +365,16 @@ class PagedKVPool:
                 self.stats["pages_freed"] += 1
                 key = "cascade" if node is not page else reason
                 self.stats[f"evictions_{key}"] += 1
+                self.registry.inc("pool.evictions", reason=key)
+                self.obs.instant(
+                    "evict",
+                    self.track,
+                    cat="pool",
+                    reason=key,
+                    page_id=node.page_id,
+                    nbytes=node.nbytes,
+                    tokens=node.num_tokens,
+                )
                 continue
             stack.append((node, True))
             for child in self._resident_children(node.chain):
@@ -493,10 +516,14 @@ class PagedKVPool:
         matched = match.matched_tokens
         if matched == 0:
             self.stats["prefix_misses"] += 1
+            outcome = "miss"
         elif match.partial is not None:
             self.stats["prefix_partial_hits"] += 1
+            outcome = "partial"
         else:
             self.stats["prefix_full_hits"] += 1
+            outcome = "full"
+        self.registry.inc("pool.prefix_lookups", outcome=outcome)
         if matched:
             bucket = _hist_bucket(matched)
             self.matched_prefix_hist[bucket] = (
@@ -626,6 +653,14 @@ class PagedKVPool:
         self._cache_insert(head)
         self.stats["pages_split"] += 1
         self.stats["split_tokens_salvaged"] += head_tokens
+        self.obs.instant(
+            "split",
+            self.track,
+            cat="pool",
+            page_id=page.page_id,
+            head_tokens=head_tokens,
+            tokens=page.num_tokens,
+        )
         return head, tail
 
     # ------------------------------------------------------------------
@@ -739,6 +774,14 @@ class PagedKVPool:
                 self._swapped[page.page_id] = page
                 self.bytes_swapped += page.nbytes
                 self.stats["swap_out_bytes"] += page.nbytes
+                self.obs.instant(
+                    "swap_out",
+                    self.track,
+                    cat="pool",
+                    tier="host",
+                    nbytes=page.nbytes,
+                    page_id=page.page_id,
+                )
                 return
             if not self._reachable(page.parent):
                 self._unregister(page)
@@ -819,6 +862,14 @@ class PagedKVPool:
         page.last_used = self._clock()
         self._bump(page.nbytes, page.fp16_nbytes)
         self.stats["swap_in_bytes"] += page.nbytes
+        self.obs.instant(
+            "swap_in",
+            self.track,
+            cat="pool",
+            tier="host",
+            nbytes=page.nbytes,
+            page_id=page.page_id,
+        )
         return page
 
     # ------------------------------------------------------------------
@@ -862,6 +913,14 @@ class PagedKVPool:
         self.bytes_swapped += nbytes
         self.private_swapped_bytes += nbytes
         self.stats["swap_out_bytes"] += nbytes
+        self.obs.instant(
+            "swap_out",
+            self.track,
+            cat="pool",
+            tier="host",
+            nbytes=nbytes,
+            private=True,
+        )
 
     def swap_private_in(self, nbytes: int, fp16_nbytes: int) -> None:
         if nbytes < 0 or fp16_nbytes < 0:
@@ -878,6 +937,14 @@ class PagedKVPool:
         self.private_bytes += nbytes
         self._bump(nbytes, fp16_nbytes)
         self.stats["swap_in_bytes"] += nbytes
+        self.obs.instant(
+            "swap_in",
+            self.track,
+            cat="pool",
+            tier="host",
+            nbytes=nbytes,
+            private=True,
+        )
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -955,6 +1022,9 @@ class PagedKVPool:
                     self.matched_prefix_hist.items(),
                     key=lambda kv: int(kv[0].split("-")[0]),
                 )
+            ),
+            "trie_stats": (
+                dict(self.trie.stats) if self.trie is not None else {}
             ),
             **self.stats,
         }

@@ -38,6 +38,8 @@ from __future__ import annotations
 
 from collections import deque
 
+from repro.obs import NullRecorder
+
 from .pool import PagedKVPool
 from .request import Request, RequestState
 from .slo import SLO, next_deadline_s, slack_s
@@ -185,6 +187,7 @@ class ContinuousBatchingScheduler:
         max_batch_size: int = 8,
         watermark: float = 0.05,
         policy: SchedulerPolicy | str | None = None,
+        recorder=None,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -193,10 +196,20 @@ class ContinuousBatchingScheduler:
         self.max_batch_size = int(max_batch_size)
         self.watermark = float(watermark)
         self.policy = make_policy(policy if policy is not None else "fcfs")
+        #: Every state transition below records a request lifecycle span
+        #: (``repro.obs``) — the scheduler is the single choke point all
+        #: queue moves pass through, so instrumenting here covers the
+        #: engine's whole submit/admit/preempt/finish surface.
+        self.obs = recorder if recorder is not None else NullRecorder()
         self.waiting: deque[Request] = deque()
         self.prefilling: list[Request] = []
         self.running: list[Request] = []
         self.swapped: deque[Request] = deque()
+
+    def _record_state(self, request: Request, **args) -> None:
+        self.obs.request_state(
+            request.request_id, request.state.value, **args
+        )
 
     @property
     def has_work(self) -> bool:
@@ -216,6 +229,7 @@ class ContinuousBatchingScheduler:
     def submit(self, request: Request) -> None:
         request.state = RequestState.WAITING
         self.waiting.append(request)
+        self._record_state(request)
 
     def admission_headroom(self, pool: PagedKVPool) -> int:
         """Bytes a new admission may claim, keeping a watermark of the
@@ -234,6 +248,7 @@ class ContinuousBatchingScheduler:
         ever allocated, so shedding is pure queue removal."""
         self.waiting.remove(request)
         request.state = RequestState.SHED
+        self._record_state(request, reason="slo")
 
     def activate(self, request: Request, source: str) -> None:
         """Move a request from ``waiting``/``swapped`` into the batch.
@@ -249,12 +264,14 @@ class ContinuousBatchingScheduler:
         else:
             request.state = RequestState.PREFILLING
             self.prefilling.append(request)
+        self._record_state(request, source=source)
 
     def promote(self, request: Request) -> None:
         """Move a request whose final prefill chunk landed into decode."""
         self.prefilling.remove(request)
         request.state = RequestState.RUNNING
         self.running.append(request)
+        self._record_state(request)
 
     def preempt(self, request: Request) -> None:
         if request in self.running:
@@ -272,10 +289,12 @@ class ContinuousBatchingScheduler:
         ):
             index -= 1
         self.swapped.insert(index, request)
+        self._record_state(request)
 
     def finish(self, request: Request) -> None:
         self.running.remove(request)
         request.state = RequestState.FINISHED
+        self._record_state(request)
 
     def pick_victim(self, now: float = 0.0) -> Request | None:
         """The policy's preemption choice, or ``None``.

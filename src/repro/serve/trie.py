@@ -80,6 +80,16 @@ class PrefixTrie:
         self._nodes: dict[str, object] = {}
         #: parent chain -> first token -> {chain: page}.
         self._edges: dict[str, dict[int, dict[str, object]]] = {}
+        #: Descent-cost observability (the pool folds these into its
+        #: snapshot): ``descents`` counts :meth:`match` calls,
+        #: ``nodes_visited`` the trie nodes compared across all
+        #: descents, ``partial_stops`` the descents that ended inside a
+        #: node (split opportunities).
+        self.stats = {
+            "descents": 0,
+            "nodes_visited": 0,
+            "partial_stops": 0,
+        }
 
     def __len__(self) -> int:
         return len(self._nodes)
@@ -129,11 +139,13 @@ class PrefixTrie:
         """
         ids = np.asarray(ids, dtype=np.int64).reshape(-1)
         out = PrefixMatch()
+        self.stats["descents"] += 1
         chain, pos = root, 0
         while pos < ids.shape[0]:
             bucket = self._edges.get(chain, {}).get(int(ids[pos]))
             if not bucket:
                 break
+            self.stats["nodes_visited"] += len(bucket)
             best_full = None
             best_partial, best_partial_tokens = None, 0
             suffix = ids[pos:]
@@ -159,5 +171,6 @@ class PrefixTrie:
             if best_partial is not None:
                 out.partial = best_partial
                 out.partial_tokens = best_partial_tokens
+                self.stats["partial_stops"] += 1
             break
         return out

@@ -31,6 +31,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import MirroredCounters
+
 from .pool import BudgetExceededError
 
 __all__ = [
@@ -573,7 +575,14 @@ def replay_trace(
         )
     frontend = _as_frontend(target, step_cost, max_steps)
     order = sorted(range(len(trace)), key=lambda i: trace[i].arrival_s)
-    counts = {"submitted": 0, "rejected": 0, "shed": 0}
+    # Replay-side outcome totals mirror into the stack's registry as
+    # ``client.<name>``, so a mid-run snapshot shows them alongside the
+    # engine/pool/frontend series.
+    counts = MirroredCounters(
+        {"submitted": 0, "rejected": 0, "shed": 0},
+        frontend.registry,
+        "client.",
+    )
 
     async def _client(item: TraceRequest) -> None:
         await frontend.sleep_until(item.arrival_s)
@@ -692,18 +701,28 @@ def replay_open_loop(
     rng = np.random.default_rng(seed)
     jitter_u = rng.uniform(size=(len(trace), max(retry.max_attempts - 1, 1)))
     order = sorted(range(len(trace)), key=lambda i: trace[i].arrival_s)
-    counts = {
-        "completed": 0,
-        "gave_up": 0,
-        "attempts": 0,
-        "retries": 0,
-        "timeouts": 0,
-        "shed": 0,
-        "rejected": 0,
-    }
+    # Attempt outcomes mirror into the stack's registry as
+    # ``client.<name>``; each client also drops instants on its own
+    # ``client-<idx>`` trace track, so a retry storm is readable in the
+    # Chrome export request by request.
+    counts = MirroredCounters(
+        {
+            "completed": 0,
+            "gave_up": 0,
+            "attempts": 0,
+            "retries": 0,
+            "timeouts": 0,
+            "shed": 0,
+            "rejected": 0,
+        },
+        frontend.registry,
+        "client.",
+    )
+    obs = frontend.obs
 
     async def _client(idx: int) -> None:
         item = trace[idx]
+        track = f"client-{idx}"
         await frontend.sleep_until(item.arrival_s)
         for attempt in range(1, retry.max_attempts + 1):
             counts["attempts"] += 1
@@ -716,17 +735,35 @@ def replay_open_loop(
                 )
                 await handle.result(timeout_s=retry.timeout_s)
                 counts["completed"] += 1
+                obs.instant(
+                    "client_completed", track, cat="client", attempt=attempt
+                )
                 return
             except RequestTimeoutError:
                 counts["timeouts"] += 1
+                obs.instant(
+                    "client_timeout", track, cat="client", attempt=attempt
+                )
             except RequestShedError:
                 counts["shed"] += 1
+                obs.instant(
+                    "client_shed", track, cat="client", attempt=attempt
+                )
             except BudgetExceededError:
                 counts["rejected"] += 1
+                obs.instant(
+                    "client_rejected", track, cat="client", attempt=attempt
+                )
             if attempt == retry.max_attempts:
                 counts["gave_up"] += 1
+                obs.instant(
+                    "client_gave_up", track, cat="client", attempt=attempt
+                )
                 return
             counts["retries"] += 1
+            obs.instant(
+                "client_retry", track, cat="client", attempt=attempt
+            )
             await frontend.sleep(
                 retry.backoff_s(attempt, jitter_u[idx, attempt - 1])
             )
