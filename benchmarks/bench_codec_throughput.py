@@ -9,12 +9,11 @@ decode-cached pipeline against the legacy one-block-at-a-time,
 re-decode-everything loop it replaced.
 """
 
-import time
-
 import numpy as np
 import pytest
 
 from _report import write_report
+from repro.obs.timing import WallTimer
 from repro.core import (
     ActivationCodec,
     EccoTensorCodec,
@@ -89,9 +88,10 @@ def test_bit_path_close_to_fast_path(weight_setup):
     def best_of(fn, rounds=3):
         times = []
         for _ in range(rounds):
-            start = time.perf_counter()
-            fn()
-            times.append(time.perf_counter() - start)
+            timer = WallTimer()
+            with timer:
+                fn()
+            times.append(timer.elapsed_s)
         return min(times)
 
     bit_path = best_of(lambda: codec.roundtrip(tensor))
@@ -180,33 +180,37 @@ def test_streaming_decode_pipeline_speedup(kv_setup):
     # Legacy loop: append one token, then re-decode *every* historical
     # token's blocks for both K and V reads (O(T^2) block decodes).
     k_segs, v_segs = [], []
-    legacy_append_s = 0.0
-    legacy_read_s = 0.0
+    legacy_append = WallTimer()
+    legacy_read = WallTimer()
     for step in range(steps):
-        start = time.perf_counter()
-        k_segs.append(_legacy_encode_token(meta, tokens[step]))
-        v_segs.append(_legacy_encode_token(meta, tokens[step]))
-        legacy_append_s += time.perf_counter() - start
-        start = time.perf_counter()
-        np.concatenate([_legacy_decode(meta, b, s).ravel() for b, s in k_segs])
-        np.concatenate([_legacy_decode(meta, b, s).ravel() for b, s in v_segs])
-        legacy_read_s += time.perf_counter() - start
+        with legacy_append:
+            k_segs.append(_legacy_encode_token(meta, tokens[step]))
+            v_segs.append(_legacy_encode_token(meta, tokens[step]))
+        with legacy_read:
+            np.concatenate(
+                [_legacy_decode(meta, b, s).ravel() for b, s in k_segs]
+            )
+            np.concatenate(
+                [_legacy_decode(meta, b, s).ravel() for b, s in v_segs]
+            )
 
     # New pipeline: batched encode plans, cached decode tables, and the
     # decoded-segment cache (each read decodes only the new token).
     codec = KVCacheCodec(meta)
     stream = KVCacheStream(key_codec=codec, value_codec=codec)
-    new_append_s = 0.0
-    new_read_s = 0.0
+    new_append = WallTimer()
+    new_read = WallTimer()
     for step in range(steps):
-        start = time.perf_counter()
-        stream.append(tokens[step], tokens[step])
-        new_append_s += time.perf_counter() - start
-        start = time.perf_counter()
-        stream.read_keys()
-        stream.read_values()
-        new_read_s += time.perf_counter() - start
+        with new_append:
+            stream.append(tokens[step], tokens[step])
+        with new_read:
+            stream.read_keys()
+            stream.read_values()
 
+    legacy_append_s = legacy_append.elapsed_s
+    legacy_read_s = legacy_read.elapsed_s
+    new_append_s = new_append.elapsed_s
+    new_read_s = new_read.elapsed_s
     legacy_read_tps = steps / legacy_read_s
     new_read_tps = steps / new_read_s
     legacy_loop_tps = steps / (legacy_append_s + legacy_read_s)

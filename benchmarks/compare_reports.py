@@ -7,9 +7,13 @@ snapshot in ``results/baseline/``.  A metric that regresses past the
 warn threshold (default 10%) prints a warning; past the fail threshold
 (default 25%) the script exits non-zero and the job fails.
 
-Only regressions gate — improvements are reported but never fail, and a
-missing result or baseline file is a note, not an error (benches come
-and go; the gate must not block adding one).  Refresh the snapshot by
+Only regressions gate — improvements are reported but never fail.  A
+missing *result* file is a note, not an error (the bench may simply not
+have run in this job), but a missing or unreadable *baseline* file
+fails the gate with a clear message: every curated bench has a
+committed snapshot, so its absence means the gate silently stopped
+gating.  Pass ``--allow-missing-baseline`` while landing a brand-new
+bench whose snapshot does not exist yet.  Refresh the snapshot by
 copying the gated files from a healthy run::
 
     python -m pytest benchmarks/bench_serve_throughput.py ...  # regenerate
@@ -132,9 +136,33 @@ def _new_keys(current: dict, baseline: dict, prefix: str = "") -> list[str]:
     return out
 
 
+def _load_report(path: Path, role: str) -> dict | None:
+    """Parse one report JSON; ``None`` (with a message) if unreadable."""
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"[FAIL] {path}: unreadable {role} file ({exc})")
+        return None
+    if not isinstance(doc, dict):
+        print(f"[FAIL] {path}: {role} file is not a JSON object")
+        return None
+    return doc
+
+
 def compare(
-    results: Path, baseline: Path, warn: float, fail: float
+    results: Path,
+    baseline: Path,
+    warn: float,
+    fail: float,
+    allow_missing_baseline: bool = False,
 ) -> int:
+    if not baseline.is_dir():
+        print(
+            f"[FAIL] baseline directory {baseline} does not exist — the "
+            "regression gate has nothing to compare against.  Commit a "
+            "snapshot (see the module docstring) or pass --baseline."
+        )
+        return 2
     failures = warnings = checked = 0
     for filename, metrics in GATES.items():
         cur_path = results / filename
@@ -143,10 +171,21 @@ def compare(
             print(f"[skip] {filename}: no result file (bench not run)")
             continue
         if not base_path.exists():
-            print(f"[note] {filename}: no committed baseline yet")
+            if allow_missing_baseline:
+                print(f"[note] {filename}: no committed baseline yet")
+                continue
+            print(
+                f"[FAIL] {filename}: result present but no baseline at "
+                f"{base_path} — commit a snapshot from a healthy run "
+                "(or pass --allow-missing-baseline for a new bench)"
+            )
+            failures += 1
             continue
-        current_doc = json.loads(cur_path.read_text())
-        baseline_doc = json.loads(base_path.read_text())
+        current_doc = _load_report(cur_path, "result")
+        baseline_doc = _load_report(base_path, "baseline")
+        if current_doc is None or baseline_doc is None:
+            failures += 1
+            continue
         fresh = _new_keys(current_doc, baseline_doc)
         if fresh:
             shown = ", ".join(fresh[:8])
@@ -199,10 +238,21 @@ def main(argv=None) -> int:
         "--fail", type=float, default=0.25,
         help="default fail threshold (fractional regression)",
     )
+    parser.add_argument(
+        "--allow-missing-baseline", action="store_true",
+        help="downgrade a missing per-bench baseline file to a note "
+        "(for landing a new bench before its snapshot is committed)",
+    )
     args = parser.parse_args(argv)
     if args.warn > args.fail:
         parser.error("--warn must not exceed --fail")
-    return compare(args.results, args.baseline, args.warn, args.fail)
+    return compare(
+        args.results,
+        args.baseline,
+        args.warn,
+        args.fail,
+        allow_missing_baseline=args.allow_missing_baseline,
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,66 @@
+"""Codebase-native static analysis for the repro tree.
+
+``python -m repro.analysis src tests benchmarks`` runs every registered
+rule over the given trees and exits non-zero on error-severity findings
+not covered by the checked-in baseline (``analysis-baseline.json``).
+
+Five rule families, each encoding a contract this codebase actually
+sells (see the rule modules for the full rationale):
+
+=======  ==========================================================
+LAY001   imports obey the declared layer matrix (``analysis.layers``)
+DET001   no wall-clock reads outside ``repro.obs.timing``
+DET002   no global-state RNG (legacy ``np.random``, stdlib ``random``)
+DET003   no ``os.environ`` reads inside ``repro.*``
+ASY001   no blocking calls inside ``async def``
+ASY002   no coroutine calls that are never awaited
+INV001   pool byte counters mutate only via ``_bump``
+INV002   no bare ``except:``
+INV003   shed-family exceptions never swallowed silently
+INV004   no mutable default arguments inside ``repro.*``
+NUM001   no float ``sum`` over unordered containers (warning)
+=======  ==========================================================
+
+Suppress a single judged-safe line inline::
+
+    clock()  # repro: ignore[DET001] -- measured throughput, not replayed
+
+Grandfather a finding (with a reason) in ``analysis-baseline.json`` —
+``--write-baseline`` regenerates it from the current findings.  The
+package is stdlib-only and imports nothing from the rest of ``repro``,
+so the analyzer can never be broken by the code it judges.
+"""
+
+from __future__ import annotations
+
+from .baseline import (
+    BaselineEntry,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .findings import Finding, Severity
+from .layers import LAYER_MATRIX, import_allowed, layer_of
+from .registry import Rule, iter_rules, known_rule_ids, register_rule
+from .runner import ModuleInfo, analyze_paths, analyze_source
+
+__all__ = [
+    "BaselineEntry",
+    "BaselineError",
+    "Finding",
+    "LAYER_MATRIX",
+    "ModuleInfo",
+    "Rule",
+    "Severity",
+    "analyze_paths",
+    "analyze_source",
+    "apply_baseline",
+    "import_allowed",
+    "iter_rules",
+    "known_rule_ids",
+    "layer_of",
+    "load_baseline",
+    "register_rule",
+    "write_baseline",
+]

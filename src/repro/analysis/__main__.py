@@ -1,0 +1,153 @@
+"""CLI: ``python -m repro.analysis [paths...]``.
+
+Human-readable report on stdout; ``--output FILE`` additionally writes
+the machine-readable JSON document (CI uploads it as an artifact).
+Exit status: 0 when no error-severity findings remain beyond the
+baseline (warnings gate only under ``--strict``); 1 otherwise; 2 for
+usage/configuration problems (unreadable baseline, missing paths).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .findings import Finding, Severity
+from .registry import iter_rules
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def _report_json(
+    findings: list[Finding], stale: list, baselined: int
+) -> dict[str, object]:
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    return {
+        "version": 1,
+        "findings": [f.to_json() for f in findings],
+        "stale_baseline": [
+            {"rule": e.rule, "path": e.path, "snippet": e.snippet}
+            for e in stale
+        ],
+        "summary": {
+            "errors": errors,
+            "warnings": len(findings) - errors,
+            "baselined": baselined,
+            "stale_baseline_entries": len(stale),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_PATHS),
+        help=f"files or trees to analyze (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=Path.cwd(),
+        help="repo root paths are resolved against (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE} if present)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="stdout format (json prints the full findings document)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="also write the JSON findings document to this file",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="warnings gate too (default: only errors fail the run)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every registered rule and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in iter_rules():
+            print(f"{rule.rule_id}  [{rule.severity.value:7s}]  {rule.summary}")
+        return 0
+
+    from .runner import analyze_paths
+
+    try:
+        findings = analyze_paths(args.paths, args.root)
+    except FileNotFoundError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        candidate = args.root / DEFAULT_BASELINE
+        baseline_path = candidate if candidate.exists() else None
+
+    if args.write_baseline:
+        target = args.baseline or args.root / DEFAULT_BASELINE
+        entries = write_baseline(target, findings)
+        print(f"wrote {len(entries)} baseline entries to {target}")
+        print("add a 'reason' to each entry before committing.")
+        return 0
+
+    stale: list = []
+    baselined = 0
+    if baseline_path is not None:
+        try:
+            entries = load_baseline(baseline_path)
+        except (BaselineError, OSError) as err:
+            print(f"error: cannot read baseline: {err}", file=sys.stderr)
+            return 2
+        total = len(findings)
+        findings, stale = apply_baseline(findings, entries)
+        baselined = total - len(findings)
+
+    doc = _report_json(findings, stale, baselined)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(json.dumps(doc, indent=2) + "\n")
+
+    if args.format == "json":
+        print(json.dumps(doc, indent=2))
+    else:
+        for finding in findings:
+            print(finding.format())
+        for entry in stale:
+            print(
+                f"stale baseline entry: {entry.rule} at {entry.path} "
+                f"({entry.snippet!r} no longer found — delete it)"
+            )
+        summary = doc["summary"]
+        print(
+            f"{summary['errors']} errors, {summary['warnings']} warnings "  # type: ignore[index]
+            f"({baselined} baselined, {len(stale)} stale baseline entries)"
+        )
+
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    gating = len(findings) if args.strict else errors
+    return 1 if gating else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""The checked-in baseline of grandfathered findings.
+
+A baseline entry waives ``count`` occurrences of one fingerprint
+(rule, path, stripped source line) — line numbers are deliberately not
+part of the identity, so edits elsewhere in a file never invalidate the
+waiver, while a *new* occurrence of the same pattern on a new line still
+fires (the count is exceeded).
+
+Every entry must carry a ``reason``: a baseline is a reviewed list of
+judgment calls, not a mute button.  Entries whose pattern no longer
+exists are reported as *stale* so the file shrinks as debt is paid.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    snippet: str
+    count: int
+    reason: str = ""
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.snippet)
+
+
+class BaselineError(ValueError):
+    """A baseline file that cannot be trusted (corrupt, wrong version)."""
+
+
+def load_baseline(path: str | Path) -> list[BaselineEntry]:
+    raw = Path(path).read_text(encoding="utf-8")
+    try:
+        doc = json.loads(raw)
+    except json.JSONDecodeError as err:
+        raise BaselineError(f"{path}: not valid JSON ({err})") from None
+    if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"{path}: expected a baseline document with version "
+            f"{BASELINE_VERSION}, got {type(doc).__name__}"
+        )
+    entries: list[BaselineEntry] = []
+    for item in doc.get("entries", []):
+        try:
+            entries.append(
+                BaselineEntry(
+                    rule=str(item["rule"]),
+                    path=str(item["path"]),
+                    snippet=str(item["snippet"]),
+                    count=int(item.get("count", 1)),
+                    reason=str(item.get("reason", "")),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as err:
+            raise BaselineError(f"{path}: malformed entry {item!r} ({err})") from None
+    return entries
+
+
+def write_baseline(
+    path: str | Path, findings: list[Finding], reason: str = "grandfathered"
+) -> list[BaselineEntry]:
+    """Write a baseline waiving exactly the given findings."""
+    counts = Counter(f.fingerprint for f in findings)
+    entries = [
+        BaselineEntry(rule=r, path=p, snippet=s, count=n, reason=reason)
+        for (r, p, s), n in sorted(counts.items())
+    ]
+    doc = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {
+                "rule": e.rule,
+                "path": e.path,
+                "snippet": e.snippet,
+                "count": e.count,
+                "reason": e.reason,
+            }
+            for e in entries
+        ],
+    }
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return entries
+
+
+def apply_baseline(
+    findings: list[Finding], entries: list[BaselineEntry]
+) -> tuple[list[Finding], list[BaselineEntry]]:
+    """Split findings into (new, stale-baseline-entries).
+
+    Each entry absorbs up to ``count`` matching findings; anything past
+    the count — or with no entry at all — stays live.  Entries that
+    matched nothing come back as *stale* so they can be deleted.
+    """
+    budget: Counter[tuple[str, str, str]] = Counter()
+    for entry in entries:
+        budget[entry.fingerprint] += entry.count
+    used: Counter[tuple[str, str, str]] = Counter()
+    fresh: list[Finding] = []
+    for finding in findings:
+        fp = finding.fingerprint
+        if used[fp] < budget[fp]:
+            used[fp] += 1
+        else:
+            fresh.append(finding)
+    stale = [e for e in entries if used[e.fingerprint] == 0]
+    return fresh, stale

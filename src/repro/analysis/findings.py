@@ -1,0 +1,65 @@
+"""Finding and severity types shared by every rule.
+
+A :class:`Finding` is one rule hit at one source location.  Its
+*fingerprint* deliberately ignores the line number: baselines must
+survive unrelated edits above a grandfathered line, so identity is
+``(rule, path, stripped source line)`` — the same triple `ruff` and
+`flake8` baselining tools converge on.  Two identical lines in one file
+share a fingerprint; the baseline stores a *count* per fingerprint so
+adding a third occurrence is still caught.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How a finding gates the run.
+
+    ``ERROR`` findings (beyond the baseline) fail the build; ``WARNING``
+    findings are reported but only gate under ``--strict``.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: Severity
+    #: The stripped source line the finding anchors to (fingerprint key).
+    snippet: str = field(default="", compare=False)
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Line-number-free identity used for baseline matching."""
+        return (self.rule, self.path, self.snippet)
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "severity": self.severity.value,
+            "snippet": self.snippet,
+        }
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity.value}] {self.message}"
+        )

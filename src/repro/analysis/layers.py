@@ -1,0 +1,71 @@
+"""The declared layering matrix of the ``repro`` package.
+
+This file *is* the architecture contract: ``LAYER_MATRIX`` maps each
+top-level layer of ``repro`` to the set of layers it may import, and the
+LAY001 rule enforces it over real ``import`` ASTs.  The shape mirrors
+the ownership rules written down in PR 1 and re-stated in the README:
+
+* ``core`` / ``entropy`` / ``quant`` / ``baselines`` are pure-numpy
+  math — no model (``llm``) or serving (``serve``) dependencies, ever.
+* ``llm`` owns training/eval; it builds on the math layers but never
+  imports ``serve`` (the serving engine drives models, not vice versa).
+* ``memsys`` / ``hardware`` / ``perf`` own every device constant;
+  ``perf`` may read model *specs* (``llm.config``) but must not touch
+  proxy-model code, so its grant is submodule-scoped.
+* ``obs`` is a leaf importable by everything and importing nothing.
+* ``analysis`` (this package) is stdlib-only and imports no sibling.
+
+Grants are prefix-matched on dotted layer paths: ``"llm.config"``
+allows exactly that submodule, ``"core"`` allows the whole package.
+Same-layer imports are always allowed.  To let a new layer in, add an
+explicit row here — the matrix is the documentation.
+"""
+
+from __future__ import annotations
+
+#: layer -> dotted import prefixes (inside ``repro.``) it may use.
+#: A layer's own name never needs listing; ``""`` is the package root
+#: (``repro/__init__.py``), which must stay import-free to keep
+#: ``import repro`` cheap.
+LAYER_MATRIX: dict[str, frozenset[str]] = {
+    "": frozenset(),
+    "core": frozenset(),
+    "entropy": frozenset(),
+    "quant": frozenset(),
+    "baselines": frozenset(),
+    "llm": frozenset({"core", "entropy", "quant", "baselines"}),
+    "memsys": frozenset(),
+    "hardware": frozenset({"core"}),
+    "perf": frozenset({"core", "memsys", "obs", "llm.config"}),
+    "obs": frozenset(),
+    "serve": frozenset({"core", "llm", "memsys", "perf", "obs"}),
+    "analysis": frozenset(),
+}
+
+
+def layer_of(module: str) -> str | None:
+    """Layer of a dotted ``repro``-internal module path.
+
+    ``module`` is the path *inside* repro (``"serve.pool"`` -> layer
+    ``"serve"``; ``""`` -> the package root).  Returns ``None`` for
+    modules outside the declared matrix (a finding in itself).
+    """
+    top = module.split(".", 1)[0]
+    return top if top in LAYER_MATRIX else None
+
+
+def import_allowed(importer_module: str, imported_module: str) -> bool:
+    """May ``repro.<importer_module>`` import ``repro.<imported_module>``?"""
+    importer = layer_of(importer_module)
+    target = layer_of(imported_module)
+    if importer is None or target is None:
+        return False
+    if importer == target:
+        return True
+    for grant in LAYER_MATRIX[importer]:
+        if imported_module == grant or imported_module.startswith(grant + "."):
+            return True
+        # A grant of a whole layer covers importing the bare package.
+        if target == grant:
+            return True
+    return False

@@ -1,0 +1,201 @@
+"""DET — determinism lints: the replay guarantees live or die here.
+
+Everything this reproduction proves (bit-exact codec round trips,
+virtual-clock trace replay, the regression gates) assumes a run is a
+pure function of its inputs and seeds.  Three rules defend that:
+
+* DET001 — no wall-clock reads (``time.time``/``monotonic``/
+  ``perf_counter``, ``datetime.now``...).  References count, not just
+  calls: ``clock=time.monotonic`` as a default argument is exactly the
+  bug that silently breaks replay.  The single blessed accessor is
+  ``repro.obs.timing`` (the allowlist below) — benchmarks that truly
+  measure wall time import :class:`~repro.obs.timing.WallTimer` from
+  there.
+* DET002 — no global-state RNG (``np.random.rand``-style legacy calls,
+  stdlib ``random`` module functions).  Explicitly seeded generators
+  (``np.random.default_rng(seed)``, ``random.Random(seed)``) are fine.
+* DET003 — no ``os.environ``/``os.getenv`` reads inside ``repro.*``:
+  behavior must come from arguments, not ambient process state.
+  (Tests and benchmarks may consult the environment; the shipped
+  package may not.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding, Severity
+from ..registry import register_rule
+from ..runner import ModuleInfo
+from . import dotted, module_aliases
+
+#: The one module allowed to touch the wall clock: the named allowlist
+#: everything else (src, tests, benchmarks) must route through.
+WALLCLOCK_ALLOWLIST = frozenset({"src/repro/obs/timing.py"})
+
+_WALLCLOCK_ATTRS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.clock_gettime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+    }
+)
+_WALLCLOCK_FROM_TIME = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+     "perf_counter_ns", "clock_gettime"}
+)
+
+#: ``np.random.<safe>`` — constructing explicit generators is the point.
+_SAFE_NP_RANDOM = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "RandomState",
+    }
+)
+
+#: stdlib ``random`` module-level functions that draw from the hidden
+#: global state.  ``random.Random`` (an explicit instance) is fine.
+_GLOBAL_RANDOM_FNS = frozenset(
+    {
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "triangular", "gauss", "normalvariate",
+        "lognormvariate", "expovariate", "betavariate", "gammavariate",
+        "paretovariate", "weibullvariate", "vonmisesvariate", "seed",
+        "getrandbits", "randbytes",
+    }
+)
+
+_ENV_ATTRS = frozenset({"os.environ", "os.getenv", "os.putenv"})
+
+
+@register_rule(
+    "DET001",
+    Severity.ERROR,
+    "wall-clock read outside repro.obs.timing",
+)
+def wallclock(module: ModuleInfo) -> Iterator[Finding]:
+    if module.relpath in WALLCLOCK_ALLOWLIST:
+        return
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Attribute):
+            name = dotted(node)
+            if name in _WALLCLOCK_ATTRS:
+                yield module.finding(
+                    "DET001",
+                    Severity.ERROR,
+                    node,
+                    f"wall-clock read {name!r}; pass a clock in, or use "
+                    "repro.obs.timing (the named wall-clock allowlist)",
+                )
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module == "time":
+                for alias in node.names:
+                    if alias.name in _WALLCLOCK_FROM_TIME:
+                        yield module.finding(
+                            "DET001",
+                            Severity.ERROR,
+                            node,
+                            f"imports wall-clock 'time.{alias.name}'; use "
+                            "repro.obs.timing instead",
+                        )
+
+
+@register_rule(
+    "DET002",
+    Severity.ERROR,
+    "global-state RNG use (unseeded random / legacy np.random)",
+)
+def global_rng(module: ModuleInfo) -> Iterator[Finding]:
+    aliases = module_aliases(module.tree)
+    random_aliases = {a for a, mod in aliases.items() if mod == "random"}
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Attribute):
+            name = dotted(node)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if (
+                len(parts) >= 3
+                and aliases.get(parts[0], parts[0]) == "numpy"
+                and parts[1] == "random"
+                and parts[2] not in _SAFE_NP_RANDOM
+            ):
+                yield module.finding(
+                    "DET002",
+                    Severity.ERROR,
+                    node,
+                    f"legacy global-state {name!r}; draw from an explicit "
+                    "np.random.default_rng(seed) generator",
+                )
+            elif (
+                len(parts) == 2
+                and parts[0] in random_aliases
+                and parts[1] in _GLOBAL_RANDOM_FNS
+            ):
+                yield module.finding(
+                    "DET002",
+                    Severity.ERROR,
+                    node,
+                    f"global-state {name!r}; use an explicit "
+                    "random.Random(seed) (or np.random.default_rng)",
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module == "random":
+            for alias in node.names:
+                if alias.name in _GLOBAL_RANDOM_FNS:
+                    yield module.finding(
+                        "DET002",
+                        Severity.ERROR,
+                        node,
+                        f"imports global-state 'random.{alias.name}'; use "
+                        "an explicit random.Random(seed)",
+                    )
+
+
+@register_rule(
+    "DET003",
+    Severity.ERROR,
+    "os.environ read inside repro.*",
+)
+def environ_read(module: ModuleInfo) -> Iterator[Finding]:
+    if not module.is_repro:
+        return
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Attribute):
+            name = dotted(node)
+            if name in _ENV_ATTRS:
+                yield module.finding(
+                    "DET003",
+                    Severity.ERROR,
+                    node,
+                    f"{name} inside repro.*: behavior must come from "
+                    "explicit arguments, not ambient process state",
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module == "os":
+            for alias in node.names:
+                if alias.name in {"environ", "getenv", "putenv"}:
+                    yield module.finding(
+                        "DET003",
+                        Severity.ERROR,
+                        node,
+                        f"imports 'os.{alias.name}' inside repro.*",
+                    )

@@ -1,0 +1,223 @@
+"""INV — invariant-discipline lints.
+
+The serving stack's correctness story rests on a few load-bearing
+conventions; these rules make them machine-checked:
+
+* INV001 — byte-counter mutations route through ``_bump``.  Any class
+  that defines a ``_bump`` method thereby *declares* the attributes
+  ``_bump`` mutates as protected: every other method must go through
+  it (``__init__`` may initialize them).  Direct mutation bypasses the
+  peak/overrun accounting ``_bump`` centralizes — exactly the drift
+  ``check_budget`` exists to catch after the fact.
+* INV002 — no bare ``except:`` (it eats ``KeyboardInterrupt`` and
+  ``SystemExit`` along with everything you meant).
+* INV003 — never swallow ``BudgetExceededError``/``RequestShedError``
+  silently: a handler for the 429 family must re-raise or visibly
+  account for the shed (a counter bump or a recording call).  Silent
+  swallows make load-shedding invisible to the replay reports.
+* INV004 — no mutable default arguments inside ``repro.*``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding, Severity
+from ..registry import register_rule
+from ..runner import ModuleInfo
+from . import walk_skipping_defs
+
+#: Exceptions in the "shed" (429) family that must never vanish.
+SHED_EXCEPTIONS = frozenset({"BudgetExceededError", "RequestShedError"})
+
+#: Substrings of call names that count as explicit shed accounting.
+_ACCOUNTING_TOKENS = ("inc", "instant", "fail", "shed", "reject", "record", "count", "add", "log")
+
+
+def _self_attr_targets(node: ast.stmt) -> Iterator[str]:
+    """Names of ``self.<attr>`` assigned/augmented by one statement."""
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.AugAssign):
+        targets = [node.target]
+    elif isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+        targets = [node.target]
+    for target in targets:
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            yield target.attr
+
+
+@register_rule(
+    "INV001",
+    Severity.ERROR,
+    "protected byte counter mutated outside _bump",
+)
+def bump_discipline(module: ModuleInfo) -> Iterator[Finding]:
+    if not module.is_repro:
+        return
+    for cls in ast.walk(module.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        bump = next(
+            (
+                m
+                for m in cls.body
+                if isinstance(m, ast.FunctionDef) and m.name == "_bump"
+            ),
+            None,
+        )
+        if bump is None:
+            continue
+        protected = frozenset(
+            attr
+            for stmt in ast.walk(bump)
+            for attr in _self_attr_targets(stmt)
+        )
+        if not protected:
+            continue
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name in ("_bump", "__init__"):
+                continue
+            for stmt in ast.walk(method):
+                if not isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    continue
+                for attr in _self_attr_targets(stmt):
+                    if attr in protected:
+                        yield module.finding(
+                            "INV001",
+                            Severity.ERROR,
+                            stmt,
+                            f"'self.{attr}' is managed by "
+                            f"{cls.name}._bump (peak/overrun accounting); "
+                            f"mutate it via self._bump(...), not directly "
+                            f"in {method.name}()",
+                        )
+
+
+@register_rule(
+    "INV002",
+    Severity.ERROR,
+    "bare except",
+)
+def bare_except(module: ModuleInfo) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield module.finding(
+                "INV002",
+                Severity.ERROR,
+                node,
+                "bare 'except:' also catches KeyboardInterrupt/SystemExit; "
+                "name the exceptions you mean",
+            )
+
+
+def _handler_exceptions(handler: ast.ExceptHandler) -> frozenset[str]:
+    names: set[str] = set()
+    nodes: list[ast.expr] = []
+    if handler.type is not None:
+        nodes = (
+            list(handler.type.elts)
+            if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return frozenset(names)
+
+
+def _accounts_for_shed(handler: ast.ExceptHandler) -> bool:
+    for node in walk_skipping_defs(handler.body):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.AugAssign):
+            return True  # counter bump: counts["shed"] += 1
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id
+                if isinstance(func, ast.Name)
+                else ""
+            ).lower()
+            if any(tok in name for tok in _ACCOUNTING_TOKENS):
+                return True
+    return False
+
+
+@register_rule(
+    "INV003",
+    Severity.ERROR,
+    "shed-family exception swallowed without accounting",
+)
+def swallowed_shed(module: ModuleInfo) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        caught = _handler_exceptions(node) & SHED_EXCEPTIONS
+        if caught and not _accounts_for_shed(node):
+            yield module.finding(
+                "INV003",
+                Severity.ERROR,
+                node,
+                f"handler swallows {'/'.join(sorted(caught))} without "
+                "re-raising or shed accounting — load shedding must "
+                "stay visible (bump a counter or re-raise)",
+            )
+
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque"})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else ""
+        )
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@register_rule(
+    "INV004",
+    Severity.ERROR,
+    "mutable default argument inside repro.*",
+)
+def mutable_default(module: ModuleInfo) -> Iterator[Finding]:
+    if not module.is_repro:
+        return
+    for fn in ast.walk(module.tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        args = fn.args
+        defaults = list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                label = getattr(fn, "name", "<lambda>")
+                yield module.finding(
+                    "INV004",
+                    Severity.ERROR,
+                    default,
+                    f"mutable default argument in {label}(): shared "
+                    "across calls — default to None and build inside",
+                )

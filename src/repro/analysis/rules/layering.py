@@ -1,0 +1,123 @@
+"""LAY001 — the declared layer matrix, enforced over real import ASTs.
+
+Every ``import``/``from ... import`` inside ``src/repro`` (including
+function-local imports — lazy imports are still dependencies) is
+resolved to its target inside the package and checked against
+:data:`repro.analysis.layers.LAYER_MATRIX`.  Relative imports resolve
+through the importing module's package; one that climbs out of
+``repro`` entirely is flagged too (nothing above the package root is a
+legal target).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding, Severity
+from ..layers import LAYER_MATRIX, import_allowed, layer_of
+from ..registry import register_rule
+from ..runner import ModuleInfo
+
+
+def _resolve_relative(
+    module_parts: list[str], is_pkg: bool, level: int, target: str | None
+) -> str | None:
+    """Dotted repro-internal path of a relative import, or ``None`` if
+    it escapes the package."""
+    pkg = module_parts if is_pkg else module_parts[:-1]
+    climb = level - 1
+    if climb > len(pkg):
+        return None
+    base = pkg[: len(pkg) - climb]
+    if target:
+        base = base + target.split(".")
+    return ".".join(base)
+
+
+def _iter_targets(
+    module: ModuleInfo, node: ast.stmt
+) -> Iterator[str | None]:
+    """Repro-internal dotted targets of one import statement.
+
+    Yields ``None`` for a relative import that escapes the package;
+    absolute imports of third-party/stdlib modules yield nothing.
+    """
+    repro_module = module.repro_module
+    assert repro_module is not None
+    module_parts = repro_module.split(".") if repro_module else []
+    is_pkg = module.relpath.endswith("__init__.py")
+
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            name = alias.name
+            if name == "repro" or name.startswith("repro."):
+                yield name[len("repro") :].lstrip(".")
+    elif isinstance(node, ast.ImportFrom):
+        if node.level > 0:
+            resolved = _resolve_relative(
+                module_parts, is_pkg, node.level, node.module
+            )
+            if resolved is None:
+                yield None
+            elif node.module is None:
+                # ``from . import x, y`` — each name is a submodule.
+                for alias in node.names:
+                    yield f"{resolved}.{alias.name}" if resolved else alias.name
+            else:
+                yield resolved
+        elif node.module and (
+            node.module == "repro" or node.module.startswith("repro.")
+        ):
+            inner = node.module[len("repro") :].lstrip(".")
+            if inner:
+                yield inner
+            else:
+                # ``from repro import core`` — names are submodules.
+                for alias in node.names:
+                    yield alias.name
+
+
+@register_rule(
+    "LAY001",
+    Severity.ERROR,
+    "import crosses the declared layer matrix",
+)
+def layering(module: ModuleInfo) -> Iterator[Finding]:
+    repro_module = module.repro_module
+    if repro_module is None:
+        return
+    importer_layer = layer_of(repro_module)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        for target in _iter_targets(module, node):
+            if target is None:
+                yield module.finding(
+                    "LAY001",
+                    Severity.ERROR,
+                    node,
+                    "relative import climbs out of the repro package",
+                )
+                continue
+            target_layer = layer_of(target)
+            if target_layer == "":
+                continue  # the import-free package root is always fair game
+            if target_layer is None:
+                yield module.finding(
+                    "LAY001",
+                    Severity.ERROR,
+                    node,
+                    f"import of repro.{target} which belongs to no "
+                    "declared layer (add it to analysis/layers.py)",
+                )
+                continue
+            if not import_allowed(repro_module, target):
+                allowed = sorted(LAYER_MATRIX.get(importer_layer or "", ()))
+                yield module.finding(
+                    "LAY001",
+                    Severity.ERROR,
+                    node,
+                    f"layer {importer_layer!r} may not import "
+                    f"repro.{target} (declared deps: {allowed or 'none'})",
+                )

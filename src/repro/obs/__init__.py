@@ -24,6 +24,7 @@ from .registry import (
     MetricsRegistry,
     MirroredCounters,
 )
+from .timing import WallTimer, wall_clock
 from .trace import TERMINAL_STATES, NullRecorder, TraceEvent, TraceRecorder
 
 _REPORT_NAMES = ("format_summary", "load_events", "summarize")
@@ -47,11 +48,13 @@ __all__ = [
     "TERMINAL_STATES",
     "TraceEvent",
     "TraceRecorder",
+    "WallTimer",
     "chrome_trace",
     "format_summary",
     "iter_jsonl",
     "load_events",
     "summarize",
+    "wall_clock",
     "write_chrome_trace",
     "write_jsonl",
 ]

@@ -1,0 +1,55 @@
+"""The one blessed wall-clock accessor in the whole tree.
+
+Determinism is this reproduction's core guarantee: replay runs on the
+virtual clock, the codec is bit-exact, and the DET001 lint
+(``repro.analysis``) forbids ``time.time``/``monotonic``/
+``perf_counter`` everywhere — *except here*.  Code that genuinely
+measures elapsed wall time (throughput benchmarks, the LRU clock of a
+live pool) imports it from this module, so every wall-clock dependency
+in the tree is greppable at one address and reviewed once.
+
+* :func:`wall_clock` — a monotonic ``() -> float`` seconds callable,
+  the drop-in default for ``clock=`` parameters.  Anything needing
+  replayable time passes a ``VirtualClock.now`` instead.
+* :class:`WallTimer` — a context manager accumulating elapsed wall
+  seconds across one or more ``with`` blocks, for benchmark loops.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["WallTimer", "wall_clock"]
+
+
+def wall_clock() -> float:
+    """Monotonic wall-clock seconds (the allowlisted accessor)."""
+    return time.perf_counter()
+
+
+class WallTimer:
+    """Accumulate elapsed wall-clock seconds over ``with`` blocks.
+
+    >>> timer = WallTimer()
+    >>> with timer:
+    ...     do_work()
+    >>> timer.elapsed_s  # doctest: +SKIP
+    0.0123
+
+    Re-entering accumulates, so one timer can meter just the measured
+    region of every loop iteration.
+    """
+
+    def __init__(self) -> None:
+        self.elapsed_s: float = 0.0
+        self._entered_at: float | None = None
+
+    def __enter__(self) -> "WallTimer":
+        self._entered_at = wall_clock()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._entered_at is None:
+            raise RuntimeError("WallTimer exited without entering")
+        self.elapsed_s += wall_clock() - self._entered_at
+        self._entered_at = None

@@ -9,11 +9,11 @@ constants are calibrated against the paper's measured figures.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from .llm.config import ModelSpec
 from .memsys import A100, GPUParams
+from .obs.timing import WallTimer
 
 __all__ = [
     "FrameworkModel",
@@ -180,18 +180,20 @@ def sw_stream_throughput(
     tokens = (rng.standard_normal((prefill + decode_steps, head_dim)) * scales * 0.3
               ).astype(np.float32)
 
-    start = time.perf_counter()
-    stream.append_tokens(tokens[:prefill], tokens[:prefill])
-    stream.read_keys()
-    stream.read_values()
-    prefill_s = time.perf_counter() - start
-
-    start = time.perf_counter()
-    for step in range(prefill, prefill + decode_steps):
-        stream.append(tokens[step], tokens[step])
+    prefill_timer = WallTimer()
+    with prefill_timer:
+        stream.append_tokens(tokens[:prefill], tokens[:prefill])
         stream.read_keys()
         stream.read_values()
-    decode_s = time.perf_counter() - start
+    prefill_s = prefill_timer.elapsed_s
+
+    decode_timer = WallTimer()
+    with decode_timer:
+        for step in range(prefill, prefill + decode_steps):
+            stream.append(tokens[step], tokens[step])
+            stream.read_keys()
+            stream.read_values()
+    decode_s = decode_timer.elapsed_s
 
     return {
         "head_dim": head_dim,

@@ -18,13 +18,13 @@ exceeding it.
 
 from __future__ import annotations
 
-import time
+from typing import Callable
 
 import numpy as np
 
 from repro.llm.decode import decode_step, prefill_chunk
 from repro.llm.model import ProxyModel
-from repro.obs import MetricsRegistry, NullRecorder
+from repro.obs import MetricsRegistry, NullRecorder, wall_clock
 
 from .metrics import EngineMetrics, decode_step_sectors
 from .pool import BudgetExceededError, PagedKVPool
@@ -90,7 +90,7 @@ class ServingEngine:
         weights: dict | None = None,
         act_quant=None,
         record_reference: bool = False,
-        clock=time.perf_counter,
+        clock: Callable[[], float] = wall_clock,
         recorder=None,
         registry: MetricsRegistry | None = None,
     ):

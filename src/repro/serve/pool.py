@@ -55,12 +55,12 @@ from __future__ import annotations
 
 import hashlib
 import heapq
-import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
-from repro.obs import MetricsRegistry, MirroredCounters, NullRecorder
+from repro.obs import MetricsRegistry, MirroredCounters, NullRecorder, wall_clock
 
 from .trie import PrefixMatch, PrefixTrie
 
@@ -151,7 +151,7 @@ class PagedKVPool:
         use_trie: bool = True,
         ttl_s: float | None = None,
         split_min_tokens: int = 4,
-        clock=time.monotonic,
+        clock: Callable[[], float] = wall_clock,
         recorder=None,
         registry: MetricsRegistry | None = None,
         track: str = "pool",
@@ -633,8 +633,7 @@ class PagedKVPool:
         self._next_id += 2
         self._register(head)
         self._register(tail)
-        self.bytes_resident += page.nbytes
-        self.fp16_bytes_resident += page.fp16_nbytes
+        self._bump(page.nbytes, page.fp16_nbytes)
         # Re-parent the old page's children under the tail (their chain
         # identities are untouched — only the edge moves).
         for child_chain, child_id in resident_children.items():
@@ -741,8 +740,7 @@ class PagedKVPool:
             del siblings[page.chain]
             if not siblings:
                 del self._children[page.parent]
-        self.bytes_resident -= page.nbytes
-        self.fp16_bytes_resident -= page.fp16_nbytes
+        self._bump(-page.nbytes, -page.fp16_nbytes)
         # The parent may just have lost its last resident child: if it
         # is sitting in the cache, it becomes an eviction leaf.
         if not self._children.get(page.parent):
@@ -905,8 +903,7 @@ class PagedKVPool:
     def free_private(self, nbytes: int, fp16_nbytes: int) -> None:
         self._check_private_release(nbytes, fp16_nbytes)
         self.private_bytes -= nbytes
-        self.bytes_resident -= nbytes
-        self.fp16_bytes_resident -= fp16_nbytes
+        self._bump(-nbytes, -fp16_nbytes)
 
     def swap_private_out(self, nbytes: int, fp16_nbytes: int) -> None:
         self.free_private(nbytes, fp16_nbytes)
