@@ -4,7 +4,7 @@
 rule over the given trees and exits non-zero on error-severity findings
 not covered by the checked-in baseline (``analysis-baseline.json``).
 
-Five rule families, each encoding a contract this codebase actually
+Eight rule families, each encoding a contract this codebase actually
 sells (see the rule modules for the full rationale):
 
 =======  ==========================================================
@@ -19,7 +19,20 @@ INV002   no bare ``except:``
 INV003   shed-family exceptions never swallowed silently
 INV004   no mutable default arguments inside ``repro.*``
 NUM001   no float ``sum`` over unordered containers (warning)
+LIF001   locally acquired resources released on every path
+LIF002   ``begin_chunk`` not abandoned by a shed-family exception
+LIF003   opening lifecycle ops have a paired closer in the project
+AWA001   no stale read-modify-write of shared state across ``await``
+AWA002   no ``self.X += await ...`` read-modify-write
+SEE001   RNGs on serving paths constructed from explicit seeds
+SEE002   unseeded RNG construction anywhere in ``repro.*`` (warning)
 =======  ==========================================================
+
+The LAY/DET/ASY/INV/NUM families judge one file at a time; LIF/AWA/SEE
+are *interprocedural* — they run over a per-function CFG
+(``analysis.cfg``), a project-wide call graph (``analysis.callgraph``)
+and a worklist dataflow framework (``analysis.dataflow``) built once
+per run from the same parsed modules.
 
 Suppress a single judged-safe line inline::
 
@@ -42,7 +55,15 @@ from .baseline import (
 )
 from .findings import Finding, Severity
 from .layers import LAYER_MATRIX, import_allowed, layer_of
-from .registry import Rule, iter_rules, known_rule_ids, register_rule
+from .registry import (
+    ProjectRule,
+    Rule,
+    iter_project_rules,
+    iter_rules,
+    known_rule_ids,
+    register_project_rule,
+    register_rule,
+)
 from .runner import ModuleInfo, analyze_paths, analyze_source
 
 __all__ = [
@@ -51,16 +72,19 @@ __all__ = [
     "Finding",
     "LAYER_MATRIX",
     "ModuleInfo",
+    "ProjectRule",
     "Rule",
     "Severity",
     "analyze_paths",
     "analyze_source",
     "apply_baseline",
     "import_allowed",
+    "iter_project_rules",
     "iter_rules",
     "known_rule_ids",
     "layer_of",
     "load_baseline",
+    "register_project_rule",
     "register_rule",
     "write_baseline",
 ]

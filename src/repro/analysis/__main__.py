@@ -1,9 +1,15 @@
 """CLI: ``python -m repro.analysis [paths...]``.
 
 Human-readable report on stdout; ``--output FILE`` additionally writes
-the machine-readable JSON document (CI uploads it as an artifact).
+the machine-readable document (JSON findings by default, SARIF 2.1.0
+under ``--format sarif``).  Results are cached under
+``.cache/analysis/`` keyed by file content and analyzer source, so a
+clean re-run is near-instant; ``--no-cache`` forces a cold judgment.
+
 Exit status: 0 when no error-severity findings remain beyond the
-baseline (warnings gate only under ``--strict``); 1 otherwise; 2 for
+baseline *and* the baseline carries no stale entries (warnings gate
+only under ``--strict``; stale entries are debt already paid — run
+``--prune-baseline`` to drop them); 1 otherwise; 2 for
 usage/configuration problems (unreadable baseline, missing paths).
 """
 
@@ -11,24 +17,27 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
 
 from .baseline import (
+    BaselineEntry,
     BaselineError,
     apply_baseline,
     load_baseline,
+    prune_baseline,
     write_baseline,
 )
 from .findings import Finding, Severity
-from .registry import iter_rules
+from .registry import iter_project_rules, iter_rules
 
 DEFAULT_PATHS = ("src", "tests", "benchmarks")
 DEFAULT_BASELINE = "analysis-baseline.json"
 
 
 def _report_json(
-    findings: list[Finding], stale: list, baselined: int
+    findings: list[Finding], stale: list[BaselineEntry], baselined: int
 ) -> dict[str, object]:
     errors = sum(1 for f in findings if f.severity is Severity.ERROR)
     return {
@@ -44,6 +53,38 @@ def _report_json(
             "baselined": baselined,
             "stale_baseline_entries": len(stale),
         },
+    }
+
+
+def _changed_files(root: Path) -> set[str] | None:
+    """Paths changed vs ``merge-base(HEAD, origin/main)`` plus untracked.
+
+    ``None`` when git cannot answer (no repo, no origin/main) — the
+    caller falls back to a full report rather than silently reporting
+    nothing.
+    """
+
+    def _git(*argv: str) -> str:
+        proc = subprocess.run(
+            ["git", *argv],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=30,
+        )
+        return proc.stdout
+
+    try:
+        base = _git("merge-base", "HEAD", "origin/main").strip()
+        diff = _git("diff", "--name-only", base)
+        untracked = _git("ls-files", "--others", "--exclude-standard")
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return {
+        line.strip()
+        for line in (diff + untracked).splitlines()
+        if line.strip()
     }
 
 
@@ -69,12 +110,28 @@ def main(argv: list[str] | None = None) -> int:
         help="write the current findings as the new baseline and exit 0",
     )
     parser.add_argument(
-        "--format", choices=("human", "json"), default="human",
-        help="stdout format (json prints the full findings document)",
+        "--prune-baseline", action="store_true",
+        help="rewrite the baseline without stale entries and exit 0",
+    )
+    parser.add_argument(
+        "--changed-only", action="store_true",
+        help="report only findings in files changed vs origin/main "
+        "(interprocedural rules still judge the whole project; "
+        "stale-baseline gating is disabled for this partial view)",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json", "sarif"), default="human",
+        help="stdout format (json: full findings document; sarif: "
+        "SARIF 2.1.0)",
     )
     parser.add_argument(
         "--output", type=Path, default=None,
-        help="also write the JSON findings document to this file",
+        help="also write the machine-readable document to this file "
+        "(JSON findings, or SARIF under --format sarif)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not write the .cache/analysis result cache",
     )
     parser.add_argument(
         "--strict", action="store_true",
@@ -86,18 +143,54 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.changed_only and (args.write_baseline or args.prune_baseline):
+        print(
+            "error: --changed-only sees a partial tree; baselines must "
+            "be written/pruned from a full run",
+            file=sys.stderr,
+        )
+        return 2
+
     if args.list_rules:
         for rule in iter_rules():
-            print(f"{rule.rule_id}  [{rule.severity.value:7s}]  {rule.summary}")
+            print(
+                f"{rule.rule_id}  [{rule.severity.value:7s}] [module ]  "
+                f"{rule.summary}"
+            )
+        for prule in iter_project_rules():
+            print(
+                f"{prule.rule_id}  [{prule.severity.value:7s}] [project]  "
+                f"{prule.summary}"
+            )
         return 0
 
-    from .runner import analyze_paths
+    from .cache import AnalysisCache, analyze_modules_cached
+    from .runner import parse_paths
 
     try:
-        findings = analyze_paths(args.paths, args.root)
+        modules, findings = parse_paths(args.paths, args.root)
     except FileNotFoundError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
+
+    cache = None if args.no_cache else AnalysisCache(args.root)
+    findings = sorted(
+        findings + analyze_modules_cached(modules, cache),
+        key=lambda f: (f.path, f.line, f.col, f.rule),
+    )
+    if cache is not None:
+        cache.save()
+
+    changed_note: str | None = None
+    if args.changed_only:
+        changed = _changed_files(args.root)
+        if changed is None:
+            changed_note = (
+                "note: --changed-only could not resolve "
+                "merge-base(HEAD, origin/main); reporting everything"
+            )
+        else:
+            findings = [f for f in findings if f.path in changed]
 
     baseline_path = args.baseline
     if baseline_path is None:
@@ -111,7 +204,7 @@ def main(argv: list[str] | None = None) -> int:
         print("add a 'reason' to each entry before committing.")
         return 0
 
-    stale: list = []
+    stale: list[BaselineEntry] = []
     baselined = 0
     if baseline_path is not None:
         try:
@@ -122,21 +215,52 @@ def main(argv: list[str] | None = None) -> int:
         total = len(findings)
         findings, stale = apply_baseline(findings, entries)
         baselined = total - len(findings)
+        if args.prune_baseline:
+            kept = prune_baseline(baseline_path, entries, stale)
+            print(
+                f"pruned {len(stale)} stale entries from {baseline_path} "
+                f"({len(kept)} kept)"
+            )
+            return 0
+    elif args.prune_baseline:
+        print("error: --prune-baseline needs a baseline file", file=sys.stderr)
+        return 2
+
+    # A partial (--changed-only) run cannot judge staleness: an entry
+    # for an unchanged file matches nothing simply because that file was
+    # filtered out.
+    stale_gates = not args.changed_only
+    if not stale_gates:
+        stale = []
 
     doc = _report_json(findings, stale, baselined)
     if args.output is not None:
         args.output.parent.mkdir(parents=True, exist_ok=True)
-        args.output.write_text(json.dumps(doc, indent=2) + "\n")
+        if args.format == "sarif":
+            from .sarif import to_sarif
+
+            args.output.write_text(
+                json.dumps(to_sarif(findings), indent=2) + "\n"
+            )
+        else:
+            args.output.write_text(json.dumps(doc, indent=2) + "\n")
 
     if args.format == "json":
         print(json.dumps(doc, indent=2))
+    elif args.format == "sarif":
+        from .sarif import to_sarif
+
+        print(json.dumps(to_sarif(findings), indent=2))
     else:
+        if changed_note is not None:
+            print(changed_note)
         for finding in findings:
             print(finding.format())
         for entry in stale:
             print(
                 f"stale baseline entry: {entry.rule} at {entry.path} "
-                f"({entry.snippet!r} no longer found — delete it)"
+                f"({entry.snippet!r} no longer found — run "
+                f"--prune-baseline)"
             )
         summary = doc["summary"]
         print(
@@ -146,6 +270,8 @@ def main(argv: list[str] | None = None) -> int:
 
     errors = sum(1 for f in findings if f.severity is Severity.ERROR)
     gating = len(findings) if args.strict else errors
+    if stale and stale_gates:
+        return 1
     return 1 if gating else 0
 
 

@@ -94,6 +94,35 @@ def write_baseline(
     return entries
 
 
+def prune_baseline(
+    path: str | Path,
+    entries: list[BaselineEntry],
+    stale: list[BaselineEntry],
+) -> list[BaselineEntry]:
+    """Rewrite the baseline at ``path`` without the stale entries.
+
+    Counts and reasons on surviving entries are preserved verbatim —
+    pruning removes paid-off debt, it never re-words the ledger.
+    """
+    stale_fps = {e.fingerprint for e in stale}
+    kept = [e for e in entries if e.fingerprint not in stale_fps]
+    doc = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {
+                "rule": e.rule,
+                "path": e.path,
+                "snippet": e.snippet,
+                "count": e.count,
+                "reason": e.reason,
+            }
+            for e in sorted(kept, key=lambda e: e.fingerprint)
+        ],
+    }
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return kept
+
+
 def apply_baseline(
     findings: list[Finding], entries: list[BaselineEntry]
 ) -> tuple[list[Finding], list[BaselineEntry]]:

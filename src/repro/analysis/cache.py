@@ -1,0 +1,207 @@
+"""Content-hash result cache under ``.cache/analysis/``.
+
+The analyzer parses every file on every run regardless (parsing is the
+cheap part); what the cache skips is *judging*.  Two tiers:
+
+* **per-module** — findings from the single-file rule families, keyed
+  by the file's content hash.  Editing one file re-judges one file.
+* **project** — findings from the interprocedural families (LIF, AWA,
+  SEE), keyed by a hash over the *whole* parsed set.  Any edit anywhere
+  invalidates this tier: a deleted ``release()`` in one module changes
+  the verdict in another, so partial reuse would be unsound.
+
+Both tiers are salted with a hash of the analyzer's own source: editing
+a rule invalidates everything it ever judged.  The cache is a pure
+speedup — corrupt or missing files degrade to a cold run, never to an
+error, and the library entry points (:func:`analyze_paths`,
+:func:`analyze_source`) never touch it; only the CLI does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from .findings import Finding, Severity
+from .runner import ModuleInfo
+
+CACHE_VERSION = 1
+
+#: Relative to the repo root.
+CACHE_RELPATH = Path(".cache") / "analysis" / "results.json"
+
+
+def content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:24]
+
+
+def tree_hash(modules: Sequence[ModuleInfo]) -> str:
+    """One hash over every (path, content) pair — the project-tier key."""
+    digest = hashlib.sha256()
+    for module in sorted(modules, key=lambda m: m.relpath):
+        digest.update(module.relpath.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(content_hash(module.source).encode("ascii"))
+        digest.update(b"\x01")
+    return digest.hexdigest()[:24]
+
+
+def analyzer_salt() -> str:
+    """Hash of the analysis package's own source files.
+
+    Any edit to a rule, the CFG builder or this module flips the salt
+    and cold-starts the cache — results are only reusable when produced
+    by byte-identical analyzer code.
+    """
+    digest = hashlib.sha256()
+    package_dir = Path(__file__).resolve().parent
+    for path in sorted(package_dir.rglob("*.py")):
+        digest.update(path.relative_to(package_dir).as_posix().encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x01")
+    return digest.hexdigest()[:24]
+
+
+def _finding_to_json(finding: Finding) -> dict[str, object]:
+    return finding.to_json()
+
+
+def _finding_from_json(item: dict[str, object]) -> Finding:
+    return Finding(
+        rule=str(item["rule"]),
+        path=str(item["path"]),
+        line=int(item["line"]),  # type: ignore[arg-type]
+        col=int(item["col"]),  # type: ignore[arg-type]
+        message=str(item["message"]),
+        severity=Severity(str(item["severity"])),
+        snippet=str(item.get("snippet", "")),
+    )
+
+
+class AnalysisCache:
+    """The on-disk cache; load once, query, :meth:`save` at the end."""
+
+    def __init__(self, root: str | Path, salt: str | None = None) -> None:
+        self.path = Path(root) / CACHE_RELPATH
+        self.salt = salt if salt is not None else analyzer_salt()
+        self._modules: dict[str, dict[str, object]] = {}
+        self._project: dict[str, object] | None = None
+        self._dirty = False
+        self._load()
+
+    # ------------------------------------------------------------------
+    # Persistence.
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            doc = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return
+        if (
+            not isinstance(doc, dict)
+            or doc.get("version") != CACHE_VERSION
+            or doc.get("salt") != self.salt
+        ):
+            return
+        modules = doc.get("modules")
+        if isinstance(modules, dict):
+            self._modules = modules
+        project = doc.get("project")
+        if isinstance(project, dict):
+            self._project = project
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        doc = {
+            "version": CACHE_VERSION,
+            "salt": self.salt,
+            "modules": self._modules,
+            "project": self._project,
+        }
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(doc) + "\n", encoding="utf-8")
+            tmp.replace(self.path)
+        except OSError:
+            pass  # a cache that cannot be written is just a cold cache
+
+    # ------------------------------------------------------------------
+    # Per-module tier.
+    # ------------------------------------------------------------------
+    def get_module(self, relpath: str, file_hash: str) -> Optional[list[Finding]]:
+        entry = self._modules.get(relpath)
+        if not isinstance(entry, dict) or entry.get("hash") != file_hash:
+            return None
+        try:
+            raw = entry["findings"]
+            assert isinstance(raw, list)
+            return [_finding_from_json(item) for item in raw]
+        except (KeyError, TypeError, ValueError, AssertionError):
+            return None
+
+    def put_module(
+        self, relpath: str, file_hash: str, findings: Iterable[Finding]
+    ) -> None:
+        self._modules[relpath] = {
+            "hash": file_hash,
+            "findings": [_finding_to_json(f) for f in findings],
+        }
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # Project tier (interprocedural rules).
+    # ------------------------------------------------------------------
+    def get_project(self, project_hash: str) -> Optional[list[Finding]]:
+        entry = self._project
+        if not isinstance(entry, dict) or entry.get("hash") != project_hash:
+            return None
+        try:
+            raw = entry["findings"]
+            assert isinstance(raw, list)
+            return [_finding_from_json(item) for item in raw]
+        except (KeyError, TypeError, ValueError, AssertionError):
+            return None
+
+    def put_project(
+        self, project_hash: str, findings: Iterable[Finding]
+    ) -> None:
+        self._project = {
+            "hash": project_hash,
+            "findings": [_finding_to_json(f) for f in findings],
+        }
+        self._dirty = True
+
+
+def analyze_modules_cached(
+    modules: list[ModuleInfo], cache: AnalysisCache | None
+) -> list[Finding]:
+    """Per-module + project rules with cache short-circuits.
+
+    Equivalent to the library path (:func:`runner.analyze_paths` minus
+    parsing) when ``cache`` is ``None``.
+    """
+    from .runner import analyze_module, run_project_rules
+
+    findings: list[Finding] = []
+    for module in modules:
+        file_hash = content_hash(module.source)
+        cached = cache.get_module(module.relpath, file_hash) if cache else None
+        if cached is None:
+            cached = analyze_module(module)
+            if cache is not None:
+                cache.put_module(module.relpath, file_hash, cached)
+        findings.extend(cached)
+
+    project_key = tree_hash(modules)
+    project = cache.get_project(project_key) if cache else None
+    if project is None:
+        project = run_project_rules(modules)
+        if cache is not None:
+            cache.put_project(project_key, project)
+    findings.extend(project)
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))

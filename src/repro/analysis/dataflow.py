@@ -1,0 +1,59 @@
+"""A small forward worklist framework over :mod:`repro.analysis.cfg`.
+
+Typestate rules express themselves as a *state lattice* (any hashable,
+``==``-comparable value — in practice a ``frozenset`` of facts), a
+*transfer* function mapping (node, in-state) to out-state, and a *join*
+merging states where paths meet.  The framework iterates to a fixpoint
+and hands back the in-state of every node, including the synthetic
+``EXIT`` / ``RAISE_EXIT`` nodes where leak rules read their verdicts.
+
+One deliberate semantic: ``except`` edges propagate the *pre*-state of
+the raising statement, not its post-state — an exception means the
+statement did not complete, so ``kv = acquire()`` that raises has *not*
+bound ``kv``.  Every other edge kind propagates the post-state.
+
+Termination: with a finite fact domain and a join that only grows
+(set union), states stabilize; the worklist drains in O(edges × facts).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Hashable, TypeVar
+
+from .cfg import CFG, ENTRY, Node
+
+S = TypeVar("S", bound=Hashable)
+T = TypeVar("T")
+
+TransferFn = Callable[[Node, S], S]
+JoinFn = Callable[[S, S], S]
+
+
+def run_forward(
+    cfg: CFG,
+    entry_state: S,
+    transfer: TransferFn[S],
+    join: JoinFn[S],
+) -> Dict[int, S]:
+    """Fixpoint in-states for every reachable node of ``cfg``."""
+    in_states: Dict[int, S] = {ENTRY: entry_state}
+    work: deque[int] = deque([ENTRY])
+    while work:
+        nid = work.popleft()
+        node = cfg.nodes[nid]
+        state_in = in_states[nid]
+        state_out = transfer(node, state_in)
+        for edge in node.succs:
+            carried = state_in if edge.kind == "except" else state_out
+            old = in_states.get(edge.dst)
+            merged = carried if old is None else join(old, carried)
+            if old is None or merged != old:
+                in_states[edge.dst] = merged
+                work.append(edge.dst)
+    return in_states
+
+
+def union_join(a: frozenset[T], b: frozenset[T]) -> frozenset[T]:
+    """The join for may-analyses over fact sets."""
+    return a | b

@@ -19,9 +19,11 @@ from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 from .findings import Finding, Severity
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .project import Project
     from .runner import ModuleInfo
 
 RuleFn = Callable[["ModuleInfo"], Iterable[Finding]]
+ProjectRuleFn = Callable[["Project"], Iterable[Finding]]
 
 
 @dataclass(frozen=True)
@@ -37,7 +39,47 @@ class Rule:
         yield from self.fn(module)
 
 
+@dataclass(frozen=True)
+class ProjectRule:
+    """A rule that judges the whole project at once.
+
+    Per-module rules see one file; project rules get the cross-module
+    :class:`~repro.analysis.project.Project` index (call graph, class
+    hierarchy), which is what the interprocedural LIF/AWA/SEE families
+    run on.  Findings flow into the same fingerprint/baseline pipeline.
+    """
+
+    rule_id: str
+    severity: Severity
+    summary: str
+    fn: ProjectRuleFn
+
+    def check(self, project: "Project") -> Iterator[Finding]:
+        yield from self.fn(project)
+
+
 _REGISTRY: dict[str, Rule] = {}
+_PROJECT_REGISTRY: dict[str, ProjectRule] = {}
+
+
+def register_project_rule(
+    rule_id: str, severity: Severity, summary: str
+) -> Callable[[ProjectRuleFn], ProjectRuleFn]:
+    """Decorator registering ``fn`` as project-scoped rule ``rule_id``."""
+
+    def deco(fn: ProjectRuleFn) -> ProjectRuleFn:
+        if rule_id in _PROJECT_REGISTRY or rule_id in _REGISTRY:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        _PROJECT_REGISTRY[rule_id] = ProjectRule(rule_id, severity, summary, fn)
+        return fn
+
+    return deco
+
+
+def iter_project_rules() -> list[ProjectRule]:
+    """All project-scoped rules, ordered by ID."""
+    _ensure_loaded()
+    return [_PROJECT_REGISTRY[k] for k in sorted(_PROJECT_REGISTRY)]
 
 
 def register_rule(
@@ -46,7 +88,7 @@ def register_rule(
     """Decorator registering ``fn`` as rule ``rule_id``."""
 
     def deco(fn: RuleFn) -> RuleFn:
-        if rule_id in _REGISTRY:
+        if rule_id in _REGISTRY or rule_id in _PROJECT_REGISTRY:
             raise ValueError(f"duplicate rule id {rule_id!r}")
         _REGISTRY[rule_id] = Rule(rule_id, severity, summary, fn)
         return fn
@@ -66,7 +108,7 @@ def iter_rules() -> list[Rule]:
 
 def known_rule_ids() -> frozenset[str]:
     _ensure_loaded()
-    return frozenset(_REGISTRY)
+    return frozenset(_REGISTRY) | frozenset(_PROJECT_REGISTRY)
 
 
 def _ensure_loaded() -> None:

@@ -52,5 +52,15 @@ def walk_skipping_defs(body: list[ast.stmt]) -> Iterator[ast.AST]:
         stack.extend(ast.iter_child_nodes(node))
 
 
-# Registration side effects: each module calls register_rule at import.
-from . import async_safety, determinism, invariants, layering, numerics  # noqa: E402,F401
+# Registration side effects: each module calls register_rule (or
+# register_project_rule) at import.
+from . import (  # noqa: E402,F401
+    async_safety,
+    atomicity,
+    determinism,
+    invariants,
+    layering,
+    lifecycle,
+    numerics,
+    seeds,
+)

@@ -174,7 +174,7 @@ def iter_python_files(paths: Iterable[Path], root: Path) -> Iterator[Path]:
 
 
 def analyze_module(module: ModuleInfo) -> list[Finding]:
-    """Run every registered rule over one parsed module."""
+    """Run every per-module rule over one parsed module."""
     from .registry import iter_rules
 
     out: list[Finding] = []
@@ -185,22 +185,31 @@ def analyze_module(module: ModuleInfo) -> list[Finding]:
     return sorted(out, key=lambda f: (f.path, f.line, f.col, f.rule))
 
 
-def analyze_source(source: str, relpath: str) -> list[Finding]:
-    """Analyze an in-memory snippet as if it lived at ``relpath``.
+def run_project_rules(modules: list[ModuleInfo]) -> list[Finding]:
+    """Run every project-scoped (interprocedural) rule over the parsed
+    modules as one project, honoring inline suppressions."""
+    from .project import build_project
+    from .registry import iter_project_rules
 
-    The fixture entry point for tests: the path decides which rules and
-    scopes apply (``src/repro/...`` vs ``benchmarks/...``).
-    """
-    parsed = parse_module(source, relpath)
-    if isinstance(parsed, Finding):
-        return [parsed]
-    return analyze_module(parsed)
+    project = build_project(modules)
+    by_path = {m.relpath: m for m in modules}
+    out: list[Finding] = []
+    for rule in iter_project_rules():
+        for finding in rule.check(project):
+            owner = by_path.get(finding.path)
+            if owner is None or not owner.suppressed(finding):
+                out.append(finding)
+    return sorted(out, key=lambda f: (f.path, f.line, f.col, f.rule))
 
 
-def analyze_paths(paths: Iterable[str | Path], root: str | Path) -> list[Finding]:
-    """Analyze every python file under ``paths`` relative to ``root``."""
+def parse_paths(
+    paths: Iterable[str | Path], root: str | Path
+) -> tuple[list[ModuleInfo], list[Finding]]:
+    """Parse every python file under ``paths``; syntax errors come back
+    as findings, not crashes."""
     root = Path(root).resolve()
-    findings: list[Finding] = []
+    modules: list[ModuleInfo] = []
+    errors: list[Finding] = []
     for path in iter_python_files([Path(p) for p in paths], root):
         try:
             relpath = path.relative_to(root).as_posix()
@@ -208,7 +217,33 @@ def analyze_paths(paths: Iterable[str | Path], root: str | Path) -> list[Finding
             relpath = path.as_posix()
         parsed = parse_module(path.read_text(encoding="utf-8"), relpath)
         if isinstance(parsed, Finding):
-            findings.append(parsed)
-            continue
-        findings.extend(analyze_module(parsed))
+            errors.append(parsed)
+        else:
+            modules.append(parsed)
+    return modules, errors
+
+
+def analyze_source(source: str, relpath: str) -> list[Finding]:
+    """Analyze an in-memory snippet as if it lived at ``relpath``.
+
+    The fixture entry point for tests: the path decides which rules and
+    scopes apply (``src/repro/...`` vs ``benchmarks/...``).  The snippet
+    is its own single-module project, so the interprocedural rules run
+    against it too.
+    """
+    parsed = parse_module(source, relpath)
+    if isinstance(parsed, Finding):
+        return [parsed]
+    findings = analyze_module(parsed) + run_project_rules([parsed])
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def analyze_paths(paths: Iterable[str | Path], root: str | Path) -> list[Finding]:
+    """Analyze every python file under ``paths`` relative to ``root``:
+    per-module rules file by file, then the project rules across the
+    whole parsed set."""
+    modules, findings = parse_paths(paths, root)
+    for module in modules:
+        findings.extend(analyze_module(module))
+    findings.extend(run_project_rules(modules))
     return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))

@@ -1,0 +1,87 @@
+"""SARIF 2.1.0 export — findings in the format code-review UIs ingest.
+
+One run, one driver (``repro-analysis``), every registered rule listed
+under ``tool.driver.rules`` so viewers can render summaries, and one
+``result`` per finding.  ``partialFingerprints`` carries the same
+line-number-free identity the baseline uses (rule, path, snippet), so a
+SARIF consumer's "new since last scan" matching agrees with ours.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+from .findings import Finding, Severity
+from .registry import iter_project_rules, iter_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _rule_descriptors() -> list[dict[str, object]]:
+    descriptors: list[dict[str, object]] = []
+    seen: set[str] = set()
+    for rule in list(iter_rules()) + list(iter_project_rules()):
+        if rule.rule_id in seen:
+            continue
+        seen.add(rule.rule_id)
+        descriptors.append(
+            {
+                "id": rule.rule_id,
+                "shortDescription": {"text": rule.summary},
+                "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+            }
+        )
+    return sorted(descriptors, key=lambda d: str(d["id"]))
+
+
+def _fingerprint(finding: Finding) -> str:
+    rule, path, snippet = finding.fingerprint
+    digest = hashlib.sha256(
+        f"{rule}\x00{path}\x00{snippet}".encode("utf-8")
+    ).hexdigest()[:16]
+    return f"{rule}:{digest}"
+
+
+def _result(finding: Finding) -> dict[str, object]:
+    return {
+        "ruleId": finding.rule,
+        "level": _LEVELS[finding.severity],
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                        "snippet": {"text": finding.snippet},
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {"reproAnalysis/v1": _fingerprint(finding)},
+    }
+
+
+def to_sarif(findings: Iterable[Finding]) -> dict[str, object]:
+    """The full SARIF document for one analyzer run."""
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analysis",
+                        "rules": _rule_descriptors(),
+                    }
+                },
+                "results": [_result(f) for f in findings],
+                "columnKind": "unicodeCodePoints",
+            }
+        ],
+    }

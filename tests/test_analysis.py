@@ -569,8 +569,11 @@ class TestBaseline:
 # ----------------------------------------------------------------------
 class TestMeta:
     def test_every_rule_family_is_registered(self):
+        from repro.analysis import iter_project_rules
+
         ids = {rule.rule_id for rule in iter_rules()}
-        for family in ("LAY", "DET", "ASY", "INV", "NUM"):
+        ids |= {rule.rule_id for rule in iter_project_rules()}
+        for family in ("LAY", "DET", "ASY", "INV", "NUM", "LIF", "AWA", "SEE"):
             assert any(i.startswith(family) for i in ids), family
 
     def test_syntax_error_is_a_finding_not_a_crash(self):

@@ -1,0 +1,773 @@
+"""Tier-0 tests for the interprocedural analysis engine.
+
+Covers the CFG builder, the call graph and its summaries, the three
+flow-sensitive rule families (LIF, AWA, SEE) with a true positive *and*
+a near-miss negative each, the seeded-fault meta-tests (surgically
+breaking a known-good fixture must re-light the intended rule), and the
+CLI satellites (cache, SARIF export, stale-baseline gating, pruning).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Severity, analyze_source
+from repro.analysis.__main__ import main as analysis_main
+from repro.analysis.cfg import (
+    ENTRY,
+    EXIT,
+    RAISE_EXIT,
+    build_cfg,
+)
+from repro.analysis.project import build_project
+from repro.analysis.runner import parse_module
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+SRC = "src/repro/core/_fixture.py"
+SERVE = "src/repro/serve/_fixture.py"
+
+
+def rules_of(findings):
+    return sorted(f.rule for f in findings)
+
+
+def check(source: str, relpath: str = SRC):
+    return analyze_source(textwrap.dedent(source), relpath)
+
+
+def _cfg_of(source: str):
+    tree = ast.parse(textwrap.dedent(source))
+    fn = next(
+        n
+        for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return build_cfg(fn)
+
+
+def _project_of(source: str, relpath: str = SRC):
+    module = parse_module(textwrap.dedent(source), relpath)
+    assert not hasattr(module, "fingerprint"), "fixture failed to parse"
+    return build_project([module])
+
+
+# ----------------------------------------------------------------------
+# CFG construction.
+# ----------------------------------------------------------------------
+class TestCFG:
+    def test_straight_line_reaches_exit(self):
+        cfg = _cfg_of(
+            """
+            def f(x):
+                a = x + 1
+                return a
+            """
+        )
+        kinds = {(e.src, e.dst, e.kind) for n in cfg.nodes for e in n.succs}
+        # return statement routes straight to EXIT.
+        assert any(dst == EXIT and kind == "return" for _, dst, kind in kinds)
+
+    def test_if_has_true_and_false_edges(self):
+        cfg = _cfg_of(
+            """
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                return a
+            """
+        )
+        kinds = {e.kind for n in cfg.nodes for e in n.succs}
+        assert {"true", "false"} <= kinds
+
+    def test_while_has_back_edge(self):
+        cfg = _cfg_of(
+            """
+            def f(n):
+                while n:
+                    n -= 1
+                return n
+            """
+        )
+        kinds = {e.kind for n in cfg.nodes for e in n.succs}
+        assert "back" in kinds
+
+    def test_bare_raise_routes_to_raise_exit(self):
+        cfg = _cfg_of(
+            """
+            def f():
+                raise ValueError("boom")
+            """
+        )
+        assert any(
+            e.dst == RAISE_EXIT and e.kind == "raise"
+            for n in cfg.nodes
+            for e in n.succs
+        )
+
+    def test_caught_raise_routes_to_handler_not_raise_exit(self):
+        cfg = _cfg_of(
+            """
+            def f():
+                try:
+                    raise ValueError("boom")
+                except ValueError:
+                    return 0
+            """
+        )
+        raise_edges = [
+            e
+            for n in cfg.nodes
+            for e in n.succs
+            if isinstance(n.stmt, ast.Raise)
+        ]
+        assert raise_edges and all(e.dst != RAISE_EXIT for e in raise_edges)
+
+    def test_finally_intercepts_early_return(self):
+        cfg = _cfg_of(
+            """
+            def f(fh):
+                try:
+                    return 1
+                finally:
+                    fh.close()
+            """
+        )
+        # The return must NOT bypass the finally body: some edge of kind
+        # "finally" exists, and EXIT is still reachable.
+        kinds = {e.kind for n in cfg.nodes for e in n.succs}
+        assert "finally" in kinds
+        assert any(e.dst == EXIT for n in cfg.nodes for e in n.succs)
+
+    def test_entry_is_connected(self):
+        cfg = _cfg_of("def f():\n    pass\n")
+        assert cfg.nodes[ENTRY].succs
+
+
+# ----------------------------------------------------------------------
+# Call graph + summaries (exercised through the project index).
+# ----------------------------------------------------------------------
+class TestCallGraph:
+    def test_raises_summary_is_transitive(self):
+        project = _project_of(
+            """
+            class BudgetExceededError(ValueError):
+                pass
+
+            def inner():
+                raise BudgetExceededError("x")
+
+            def middle():
+                inner()
+
+            def outer():
+                middle()
+            """
+        )
+        graph = project.callgraph
+        outer = next(
+            f for f in project.iter_functions() if f.name == "outer"
+        )
+        assert "BudgetExceededError" in graph.raises_summary(
+            outer, frozenset({"BudgetExceededError"})
+        )
+
+    def test_locally_caught_raise_does_not_escape(self):
+        project = _project_of(
+            """
+            class BudgetExceededError(ValueError):
+                pass
+
+            def inner():
+                raise BudgetExceededError("x")
+
+            def safe():
+                try:
+                    inner()
+                except ValueError:
+                    return None
+            """
+        )
+        graph = project.callgraph
+        safe = next(f for f in project.iter_functions() if f.name == "safe")
+        assert not graph.raises_summary(
+            safe, frozenset({"BudgetExceededError"})
+        )
+
+    def test_closes_params_sees_transitive_release(self):
+        project = _project_of(
+            """
+            class Engine:
+                def _dispose(self, handle):
+                    handle.release()
+
+                def _finish(self, kv):
+                    self._dispose(kv)
+            """
+        )
+        graph = project.callgraph
+        finish = next(
+            f for f in project.iter_functions() if f.name == "_finish"
+        )
+        assert "kv" in graph.closes_params(finish, frozenset({"release"}))
+
+
+# ----------------------------------------------------------------------
+# LIF — resource lifecycle state machines.
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_leak_via_escaping_exception_is_flagged(self):
+        # The PR-5 shape: BudgetExceededError raised between acquire and
+        # release, with no try/finally.
+        findings = check(
+            """
+            class BudgetExceededError(ValueError):
+                pass
+
+            class Engine:
+                def check(self, n):
+                    if n > 4:
+                        raise BudgetExceededError("over budget")
+
+                def run(self, backend, prompt):
+                    kv = backend.create_request(prompt)
+                    self.check(len(prompt))
+                    kv.release()
+            """
+        )
+        assert rules_of(findings) == ["LIF001"]
+        assert "exception" in findings[0].message
+
+    def test_try_finally_guard_passes(self):
+        findings = check(
+            """
+            class BudgetExceededError(ValueError):
+                pass
+
+            class Engine:
+                def check(self, n):
+                    if n > 4:
+                        raise BudgetExceededError("over budget")
+
+                def run(self, backend, prompt):
+                    kv = backend.create_request(prompt)
+                    try:
+                        self.check(len(prompt))
+                    finally:
+                        kv.release()
+            """
+        )
+        assert findings == []
+
+    def test_early_return_leak_is_flagged(self):
+        findings = check(
+            """
+            class Engine:
+                def run(self, backend, prompt):
+                    kv = backend.create_request(prompt)
+                    if not prompt:
+                        return None
+                    kv.release()
+                    return kv
+            """
+        )
+        assert rules_of(findings) == ["LIF001"]
+
+    def test_handoff_to_releasing_method_passes(self):
+        findings = check(
+            """
+            class Engine:
+                def _finish(self, kv):
+                    kv.release()
+
+                def run(self, backend, prompt):
+                    kv = backend.create_request(prompt)
+                    self._finish(kv)
+            """
+        )
+        assert findings == []
+
+    def test_escape_via_attribute_store_passes(self):
+        # Storing the resource on another object transfers ownership —
+        # exactly what the live engine does with request.kv.
+        findings = check(
+            """
+            class Engine:
+                def admit(self, backend, request):
+                    request.kv = backend.create_request(request.prompt)
+            """
+        )
+        assert findings == []
+
+    def test_abandoned_chunk_on_exception_is_flagged(self):
+        findings = check(
+            """
+            class BudgetExceededError(ValueError):
+                pass
+
+            class Engine:
+                def grow(self, n):
+                    raise BudgetExceededError("no")
+
+                def work(self, request, start, end):
+                    request.kv.begin_chunk(start, end)
+                    self.grow(end - start)
+                    request.kv.commit_chunk()
+            """
+        )
+        assert rules_of(findings) == ["LIF002"]
+
+    def test_chunk_committed_in_handler_passes(self):
+        findings = check(
+            """
+            class BudgetExceededError(ValueError):
+                pass
+
+            class Engine:
+                def grow(self, n):
+                    raise BudgetExceededError("no")
+
+                def work(self, request, start, end):
+                    request.kv.begin_chunk(start, end)
+                    try:
+                        self.grow(end - start)
+                    except ValueError:
+                        request.kv.commit_chunk()
+                        return
+                    request.kv.commit_chunk()
+            """
+        )
+        assert findings == []
+
+    def test_chunk_spread_across_steps_is_legal(self):
+        # Normal exit with an open chunk is the engine's actual design
+        # (one chunk cycle spans several step() calls) — only an
+        # escaping exception abandons it.
+        findings = check(
+            """
+            class Engine:
+                def start(self, request, start, end):
+                    request.kv.begin_chunk(start, end)
+                    return request
+
+                def step(self, request):
+                    request.kv.commit_chunk()
+            """
+        )
+        assert findings == []
+
+    def test_unpaired_opener_is_flagged_project_wide(self):
+        findings = check(
+            """
+            class Pool:
+                def demote(self, request):
+                    self.pool.swap_private_out(request)
+            """
+        )
+        assert rules_of(findings) == ["LIF003"]
+        assert "swap_private_out" in findings[0].message
+
+    def test_paired_opener_anywhere_in_project_passes(self):
+        findings = check(
+            """
+            class Pool:
+                def demote(self, request):
+                    self.pool.swap_private_out(request)
+
+                def promote(self, request):
+                    self.pool.swap_private_in(request)
+            """
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# AWA — async atomicity.
+# ----------------------------------------------------------------------
+class TestAtomicity:
+    def test_stale_write_across_await_is_flagged(self):
+        findings = check(
+            """
+            class Frontend:
+                async def pump(self):
+                    depth = self.queue_depth
+                    await self.drain_one()
+                    self.queue_depth = depth - 1
+            """,
+            SERVE,
+        )
+        assert rules_of(findings) == ["AWA001"]
+        assert "queue_depth" in findings[0].message
+
+    def test_reread_after_await_passes(self):
+        findings = check(
+            """
+            class Frontend:
+                async def pump(self):
+                    depth = self.queue_depth
+                    await self.drain_one()
+                    depth = self.queue_depth
+                    self.queue_depth = depth - 1
+            """,
+            SERVE,
+        )
+        assert findings == []
+
+    def test_write_before_any_await_passes(self):
+        findings = check(
+            """
+            class Frontend:
+                async def pump(self):
+                    depth = self.queue_depth
+                    self.queue_depth = depth - 1
+                    await self.drain_one()
+            """,
+            SERVE,
+        )
+        assert findings == []
+
+    def test_taint_survives_derived_locals(self):
+        findings = check(
+            """
+            class Frontend:
+                async def pump(self):
+                    depth = self.queue_depth
+                    await self.drain_one()
+                    adjusted = depth - 1
+                    self.queue_depth = adjusted
+            """,
+            SERVE,
+        )
+        assert rules_of(findings) == ["AWA001"]
+
+    def test_augassign_with_await_rhs_is_flagged(self):
+        findings = check(
+            """
+            class Frontend:
+                async def pump(self):
+                    self.tokens += await self.step()
+            """,
+            SERVE,
+        )
+        assert rules_of(findings) == ["AWA002"]
+
+    def test_await_into_local_then_apply_passes(self):
+        findings = check(
+            """
+            class Frontend:
+                async def pump(self):
+                    produced = await self.step()
+                    self.tokens += produced
+            """,
+            SERVE,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# SEE — determinism taint (seeds reach RNG constructions).
+# ----------------------------------------------------------------------
+class TestSeeds:
+    def test_unseeded_rng_on_serving_path_is_error_with_chain(self):
+        findings = check(
+            """
+            import numpy as np
+
+            def jitter(scale):
+                rng = np.random.default_rng()
+                return rng.normal() * scale
+
+            def submit_trace(trace):
+                return [jitter(t) for t in trace]
+            """,
+            SERVE,
+        )
+        assert rules_of(findings) == ["SEE001"]
+        assert findings[0].severity is Severity.ERROR
+        # The call chain from the entry point is printed in the message.
+        assert "jitter" in findings[0].message
+
+    def test_seed_threaded_from_parameter_passes(self):
+        findings = check(
+            """
+            import numpy as np
+
+            def jitter(scale, seed):
+                rng = np.random.default_rng(seed)
+                return rng.normal() * scale
+
+            def submit_trace(trace):
+                return [jitter(t, i) for i, t in enumerate(trace)]
+            """,
+            SERVE,
+        )
+        assert findings == []
+
+    def test_default_rng_none_is_still_unseeded(self):
+        findings = check(
+            """
+            import numpy as np
+
+            def submit(trace):
+                rng = np.random.default_rng(None)
+                return rng.normal()
+            """,
+            SERVE,
+        )
+        assert rules_of(findings) == ["SEE001"]
+
+    def test_unseeded_rng_off_serving_path_is_warning(self):
+        findings = check(
+            """
+            import numpy as np
+
+            def helper():
+                return np.random.default_rng().normal()
+            """
+        )
+        assert rules_of(findings) == ["SEE002"]
+        assert findings[0].severity is Severity.WARNING
+
+    def test_import_time_rng_in_serve_module_is_error(self):
+        findings = check(
+            """
+            import numpy as np
+
+            _RNG = np.random.default_rng()
+            """,
+            SERVE,
+        )
+        assert rules_of(findings) == ["SEE001"]
+        assert "import time" in findings[0].message
+
+    def test_tests_and_benchmarks_are_out_of_scope(self):
+        findings = check(
+            """
+            import numpy as np
+
+            def helper():
+                return np.random.default_rng().normal()
+            """,
+            "tests/_fixture.py",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Seeded-fault meta-tests: break a known-good fixture, assert the
+# intended rule re-lights.  This is the analyzer's own smoke alarm —
+# "clean" only counts as evidence if a planted fault trips it.
+# ----------------------------------------------------------------------
+ENGINE_FIXTURE = """
+class BudgetExceededError(ValueError):
+    pass
+
+
+class MiniEngine:
+    def _admit(self, n):
+        if n > 64:
+            raise BudgetExceededError("over budget")
+
+    def _finish(self, kv):
+        kv.release()
+
+    def submit(self, backend, prompt):
+        kv = backend.create_request(prompt)
+        try:
+            self._admit(len(prompt))
+        except BudgetExceededError:
+            self._finish(kv)
+            raise
+        self._finish(kv)
+"""
+
+
+class TestSeededFaults:
+    def test_engine_fixture_is_clean(self):
+        assert check(ENGINE_FIXTURE) == []
+
+    def test_deleting_release_in_finish_trips_lif001(self):
+        # The ISSUE's canonical fault: _finish no longer releases, so
+        # the hand-off in submit() stops discharging the obligation.
+        broken = ENGINE_FIXTURE.replace("kv.release()", "pass")
+        findings = check(broken)
+        assert "LIF001" in rules_of(findings)
+
+    def test_deleting_the_handler_handoff_trips_lif001(self):
+        # Swallow the budget error without finishing: the exception
+        # edge now reaches RAISE_EXIT with the resource open.
+        broken = ENGINE_FIXTURE.replace(
+            "            self._finish(kv)\n            raise\n",
+            "            raise\n",
+        )
+        findings = check(broken)
+        assert "LIF001" in rules_of(findings)
+
+    def test_seeding_an_rng_fault_trips_see001(self):
+        clean = """
+        import numpy as np
+
+        def sample(seed):
+            return np.random.default_rng(seed).normal()
+
+        def submit(trace, seed):
+            return [sample(seed + i) for i, t in enumerate(trace)]
+        """
+        assert check(clean, SERVE) == []
+        broken = textwrap.dedent(clean).replace(
+            "default_rng(seed)", "default_rng()"
+        )
+        findings = check(broken, SERVE)
+        assert rules_of(findings) == ["SEE001"]
+
+
+# ----------------------------------------------------------------------
+# CLI satellites: cache, SARIF, stale gating, pruning, changed-only.
+# ----------------------------------------------------------------------
+class TestCLI:
+    def _tree(self, tmp_path: Path) -> Path:
+        fixture = tmp_path / "src" / "repro" / "core" / "x.py"
+        fixture.parent.mkdir(parents=True)
+        fixture.write_text("import time\nnow = time.time()\n")
+        return tmp_path
+
+    def test_cache_written_and_results_stable(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        rc_cold = analysis_main(["src", "--root", str(root), "--format", "json"])
+        cold = json.loads(capsys.readouterr().out)
+        assert (root / ".cache" / "analysis" / "results.json").exists()
+        rc_warm = analysis_main(["src", "--root", str(root), "--format", "json"])
+        warm = json.loads(capsys.readouterr().out)
+        assert (rc_cold, cold) == (rc_warm, warm)
+
+    def test_cache_invalidated_by_edit(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        analysis_main(["src", "--root", str(root)])
+        capsys.readouterr()
+        (root / "src" / "repro" / "core" / "x.py").write_text("x = 1\n")
+        rc = analysis_main(["src", "--root", str(root)])
+        assert rc == 0  # the finding is gone, cache must not resurrect it
+
+    def test_no_cache_leaves_no_cache_dir(self, tmp_path):
+        root = self._tree(tmp_path)
+        analysis_main(["src", "--root", str(root), "--no-cache"])
+        assert not (root / ".cache").exists()
+
+    def test_stale_baseline_entry_gates_exit_one(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        assert analysis_main(["src", "--root", str(root), "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert analysis_main(["src", "--root", str(root)]) == 0
+        capsys.readouterr()
+        # Fix the finding: the baseline entry is now stale debt.
+        (root / "src" / "repro" / "core" / "x.py").write_text("x = 1\n")
+        rc = analysis_main(["src", "--root", str(root)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "stale baseline entry" in out
+
+    def test_prune_baseline_removes_stale_and_greens_the_run(
+        self, tmp_path, capsys
+    ):
+        root = self._tree(tmp_path)
+        analysis_main(["src", "--root", str(root), "--write-baseline"])
+        (root / "src" / "repro" / "core" / "x.py").write_text("x = 1\n")
+        capsys.readouterr()
+        rc = analysis_main(["src", "--root", str(root), "--prune-baseline"])
+        assert rc == 0
+        assert "pruned 1 stale" in capsys.readouterr().out
+        doc = json.loads((root / "analysis-baseline.json").read_text())
+        assert doc["entries"] == []
+        assert analysis_main(["src", "--root", str(root)]) == 0
+
+    def test_sarif_output_is_valid_2_1_0(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        out_file = root / "analysis.sarif"
+        rc = analysis_main(
+            [
+                "src",
+                "--root", str(root),
+                "--format", "sarif",
+                "--output", str(out_file),
+            ]
+        )
+        assert rc == 1
+        doc = json.loads(out_file.read_text())
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"DET001", "LIF001", "AWA001", "SEE001"} <= rule_ids
+        (result,) = run["results"]
+        assert result["ruleId"] == "DET001"
+        assert result["level"] == "error"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "src/repro/core/x.py"
+        assert loc["region"]["startLine"] == 2
+        assert "reproAnalysis/v1" in result["partialFingerprints"]
+        # stdout carries the same document.
+        assert json.loads(capsys.readouterr().out) == doc
+
+    def test_changed_only_without_git_falls_back_to_full(
+        self, tmp_path, capsys
+    ):
+        root = self._tree(tmp_path)  # tmp_path is not a git repo
+        rc = analysis_main(["src", "--root", str(root), "--changed-only"])
+        out = capsys.readouterr().out
+        assert rc == 1  # the DET001 finding still gates
+        assert "could not resolve" in out
+
+    def test_changed_only_refuses_baseline_writes(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        for flag in ("--write-baseline", "--prune-baseline"):
+            rc = analysis_main(
+                ["src", "--root", str(root), "--changed-only", flag]
+            )
+            assert rc == 2
+            assert "partial tree" in capsys.readouterr().err
+
+    def test_list_rules_includes_project_rules(self, capsys):
+        assert analysis_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("LIF001", "LIF002", "LIF003", "AWA001", "AWA002",
+                        "SEE001", "SEE002"):
+            assert rule_id in out
+
+
+# ----------------------------------------------------------------------
+# Live-tree meta-tests for the new families.
+# ----------------------------------------------------------------------
+class TestMetaInterproc:
+    def test_new_families_are_registered(self):
+        from repro.analysis import iter_project_rules
+
+        ids = {rule.rule_id for rule in iter_project_rules()}
+        for family in ("LIF", "AWA", "SEE"):
+            assert any(i.startswith(family) for i in ids), family
+
+    def test_live_tree_clean_under_new_families(self):
+        """LIF/AWA/SEE over the real serve stack: every finding fixed,
+        suppressed with a reason, or grandfathered in the baseline."""
+        from repro.analysis import (
+            analyze_paths,
+            apply_baseline,
+            load_baseline,
+        )
+
+        findings = analyze_paths(["src", "tests", "benchmarks"], REPO_ROOT)
+        interproc = [
+            f
+            for f in findings
+            if f.rule[:3] in ("LIF", "AWA", "SEE")
+        ]
+        entries = load_baseline(REPO_ROOT / "analysis-baseline.json")
+        fresh, _ = apply_baseline(interproc, entries)
+        assert not fresh, "new interprocedural findings:\n" + "\n".join(
+            f.format() for f in fresh
+        )
